@@ -1,0 +1,245 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/protocols/copssnow"
+	"repro/internal/protocols/naivefast"
+	"repro/internal/protocols/twopcfast"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// --- E1: Table 1 (system characterization) ---
+
+// BenchmarkTable1Characterization regenerates a measured Table 1 row
+// (profile + theorem verdict) per protocol.
+func BenchmarkTable1Characterization(b *testing.B) {
+	for _, name := range []string{"copssnow", "wren", "spanner", "fatcops", "naivefast"} {
+		p := core.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Characterize(p, []int64{1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E2: Figure 1 (Q_in → Q_0 → C_0) ---
+
+func BenchmarkFigure1Setup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := adversary.SetupC0(copssnow.New(),
+			protocol.Config{Servers: 2, ObjectsPerServer: 1, Clients: 2, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: Figure 2 (Constructions 1 and 2) ---
+
+func BenchmarkFigure2Constructions(b *testing.B) {
+	d, err := adversary.SetupC0(naivefast.New(),
+		protocol.Config{Servers: 2, ObjectsPerServer: 1, Clients: 2, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	orders := d.ProbeOrders([]string{"X0", "X1"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := d.Probe("r0", []string{"X0", "X1"}, orders[i%len(orders)], true)
+		if res == nil || !res.OK() {
+			b.Fatal("probe failed")
+		}
+	}
+}
+
+// --- E4: Figure 3 + Theorem 1 (the induction and the contradiction) ---
+
+func BenchmarkTheorem1Induction(b *testing.B) {
+	for _, victim := range []protocol.Protocol{naivefast.New(), twopcfast.New()} {
+		b.Run(victim.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v, err := adversary.NewAttack(victim).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.Witness == nil {
+					b.Fatal("no witness")
+				}
+			}
+		})
+	}
+}
+
+// --- E5: Theorem 2 (partial replication) ---
+
+func BenchmarkTheorem2Partial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := adversary.NewAttack(naivefast.New())
+		a.Cfg = protocol.Config{
+			Servers: 3, ObjectsPerServer: 1, Replication: 2,
+			Clients: 2, Readers: 8, Seed: 101,
+		}
+		v, err := a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Witness == nil {
+			b.Fatal("no witness")
+		}
+	}
+}
+
+// --- E6: §3.4 limit corners ---
+
+func BenchmarkLimitsCorners(b *testing.B) {
+	corners := []string{"copssnow", "wren", "fatcops", "spanner"}
+	for i := 0; i < b.N; i++ {
+		name := corners[i%len(corners)]
+		prof, err := spec.BuildProfile(core.ByName(name),
+			protocol.Config{Servers: 2, ObjectsPerServer: 1, Clients: 2, Seed: 7}, []int64{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prof.FastROT() && prof.MultiWrite {
+			b.Fatalf("%s achieves all four — impossible", name)
+		}
+	}
+}
+
+// --- E7: latency and staleness ---
+
+func BenchmarkROTLatency(b *testing.B) {
+	for _, name := range []string{"copssnow", "wren", "contrarian", "spanner", "fatcops", "eiger"} {
+		b.Run(name, func(b *testing.B) {
+			var p50 int64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.MeasureLatency(core.ByName(name), workload.ReadHeavy(), 30, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p50 = rep.ROT.P50
+			}
+			b.ReportMetric(float64(p50), "virtual-µs-p50")
+		})
+	}
+}
+
+func BenchmarkVisibilityStaleness(b *testing.B) {
+	for _, name := range []string{"copssnow", "wren", "cure"} {
+		b.Run(name, func(b *testing.B) {
+			var p50 int64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.MeasureLatency(core.ByName(name), workload.Balanced(), 30, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p50 = rep.Staleness.P50
+			}
+			b.ReportMetric(float64(p50), "virtual-µs-p50")
+		})
+	}
+}
+
+// --- substrate benchmarks (regression tracking) ---
+
+func BenchmarkCausalChecker(b *testing.B) {
+	h := history.New(map[string]model.Value{"X0": "i0", "X1": "i1"})
+	h.Add(&history.TxnRecord{ID: model.TxnID{Client: "a", Seq: 1}, Client: "a",
+		Writes: []model.Write{{Object: "X0", Value: "a0"}, {Object: "X1", Value: "a1"}}})
+	h.Add(&history.TxnRecord{ID: model.TxnID{Client: "b", Seq: 1}, Client: "b",
+		Reads: map[string]model.Value{"X0": "a0", "X1": "a1"}})
+	h.Add(&history.TxnRecord{ID: model.TxnID{Client: "b", Seq: 2}, Client: "b",
+		Writes: []model.Write{{Object: "X0", Value: "b0"}}})
+	h.Add(&history.TxnRecord{ID: model.TxnID{Client: "c", Seq: 1}, Client: "c",
+		Reads: map[string]model.Value{"X0": "b0", "X1": "a1"}})
+	h.Add(&history.TxnRecord{ID: model.TxnID{Client: "c", Seq: 2}, Client: "c",
+		Reads: map[string]model.Value{"X0": "b0"}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := history.CheckCausal(h); !v.OK {
+			b.Fatal(v.Reason)
+		}
+	}
+}
+
+func BenchmarkSimKernelThroughput(b *testing.B) {
+	d := protocol.Deploy(naivefast.New(), protocol.Config{Servers: 4, ObjectsPerServer: 2, Clients: 4, Seed: 3})
+	if err := d.InitAll(400_000); err != nil {
+		b.Fatal(err)
+	}
+	objs := d.Place.Objects()
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		cl := d.Clients[i%len(d.Clients)]
+		txn := model.NewWriteOnly(model.TxnID{},
+			model.Write{Object: objs[i%len(objs)], Value: model.Value(fmt.Sprintf("bench-%d", i))})
+		before := d.Kernel.Trace().Len()
+		if res := d.RunTxn(cl, txn, 400_000); !res.OK() {
+			b.Fatal("write failed")
+		}
+		events += d.Kernel.Trace().Len() - before
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/txn")
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	d := protocol.Deploy(copssnow.New(), protocol.Config{Servers: 2, ObjectsPerServer: 2, Clients: 4, Seed: 5})
+	if err := d.InitAll(400_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k := d.Kernel.Snapshot(); k == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+}
+
+func BenchmarkVisibilityProbe(b *testing.B) {
+	d := protocol.Deploy(copssnow.New(), protocol.Config{Servers: 2, ObjectsPerServer: 1, Clients: 2, Seed: 5})
+	if err := d.InitAll(400_000); err != nil {
+		b.Fatal(err)
+	}
+	want := map[string]model.Value{
+		"X0": protocol.InitialValue("X0"),
+		"X1": protocol.InitialValue("X1"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vis := d.VisibleAll("r0", want, true); !vis.Visible {
+			b.Fatal("initials not visible")
+		}
+	}
+}
+
+func BenchmarkRandomScheduleWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := protocol.Deploy(copssnow.New(), protocol.Config{Servers: 2, ObjectsPerServer: 2, Clients: 2, Seed: int64(i)})
+		if err := d.InitAll(400_000); err != nil {
+			b.Fatal(err)
+		}
+		gen := workload.NewGenerator(workload.ReadHeavy(), d.Place.Objects(), int64(i))
+		sched := sim.NewRandom(int64(i) * 3)
+		for t := 0; t < 10; t++ {
+			txn := gen.Next("c0")
+			if !txn.IsReadOnly() {
+				txn = gen.NextSingleWrite("c0")
+			}
+			if res := d.RunTxnWith("c0", txn, sched, 400_000); !res.OK() {
+				b.Fatal("txn failed")
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command latency runs the latency/staleness experiments (E7): read-only
+// transaction latency, write latency and write-visibility staleness for
+// every protocol, under read-heavy and balanced mixes. The shape to expect
+// (per the paper): one-round systems beat two-round systems by roughly one
+// network round trip; blocking systems pay clock-uncertainty waits; and
+// systems that delay visibility (dependency checks, stable cutoffs) trade
+// staleness for fast reads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	txns := flag.Int("txns", 60, "transactions per protocol per mix")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	for _, mix := range []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"read-heavy 95/5", workload.ReadHeavy()},
+		{"balanced 50/50", workload.Balanced()},
+	} {
+		fmt.Printf("=== %s (zipf %.2f, %d txns) ===\n", mix.name, mix.mix.ZipfS, *txns)
+		reports, err := core.LatencySweep(mix.mix, *txns, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latency:", err)
+			os.Exit(1)
+		}
+		fmt.Print(core.FormatLatency(reports))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,76 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/protocols/copssnow"
+	"repro/internal/protocols/naivefast"
+	"repro/internal/protocols/twopcfast"
+)
+
+// partialAttack configures the general (Theorem 2) system: m servers,
+// partially replicated objects, no server storing everything.
+func partialAttack(p protocol.Protocol, servers int) *Attack {
+	a := NewAttack(p)
+	a.Cfg = protocol.Config{
+		Servers: servers, ObjectsPerServer: 1, Replication: 2,
+		Clients: 2, Readers: 8, Seed: 101,
+	}
+	return a
+}
+
+// TestTheorem2PlacementIsPartiallyReplicated sanity-checks the model of
+// the appendix: overlapping replica sets, no server stores all objects.
+func TestTheorem2PlacementIsPartiallyReplicated(t *testing.T) {
+	pl := protocol.Replicated(3, 3, 2)
+	if !pl.IsReplicated() {
+		t.Fatal("placement not replicated")
+	}
+	for _, s := range pl.Servers() {
+		if len(pl.HostedBy(s)) >= len(pl.Objects()) {
+			t.Fatalf("server %s stores every object — violates the appendix model", s)
+		}
+	}
+}
+
+// TestTheorem2NaivefastPartialReplication: the impossibility also holds
+// for partially replicated systems (Theorem 2): the adversary constructs
+// the mixed read against naivefast on 3 servers with 2 replicas/object.
+func TestTheorem2NaivefastPartialReplication(t *testing.T) {
+	for _, servers := range []int{3, 4} {
+		v, err := partialAttack(naivefast.New(), servers).Run()
+		if err != nil {
+			t.Fatalf("m=%d: %v", servers, err)
+		}
+		t.Logf("m=%d: %s", servers, v)
+		if v.Sacrifices != "consistency" || v.Witness == nil {
+			t.Fatalf("m=%d: verdict %q, want a consistency violation", servers, v.Sacrifices)
+		}
+	}
+}
+
+// TestTheorem2TwopcfastPartialReplication: the induction-based victim
+// also falls in the general model.
+func TestTheorem2TwopcfastPartialReplication(t *testing.T) {
+	v, err := partialAttack(twopcfast.New(), 3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", v)
+	if v.Sacrifices != "consistency" || v.Witness == nil {
+		t.Fatalf("verdict %q, want a consistency violation", v.Sacrifices)
+	}
+}
+
+// TestTheorem2HonestProtocolStillSacrificesW: the honest fast design keeps
+// its verdict under partial replication.
+func TestTheorem2HonestProtocolStillSacrificesW(t *testing.T) {
+	v, err := partialAttack(copssnow.New(), 3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sacrifices != "W" {
+		t.Fatalf("verdict %q, want W", v.Sacrifices)
+	}
+}

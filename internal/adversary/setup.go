@@ -1,0 +1,46 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// SetupC0 builds the paper's configuration C_0 (Figure 1): deploy the
+// system, run the initializing transactions T_in_i and settle (Q_0), then
+// let the writing client c_w run the read-only transaction T_in_r over all
+// objects, returning the initial values — establishing the causal
+// dependency of c_w's future writes on the initial values — and settle so
+// no message is in transit.
+func SetupC0(p protocol.Protocol, cfg protocol.Config) (*protocol.Deployment, error) {
+	d := protocol.Deploy(p, cfg)
+	if err := d.InitAll(400_000); err != nil {
+		return nil, err
+	}
+	cw := d.Clients[0]
+	objs := d.Place.Objects()
+	res := d.RunTxn(cw, model.NewReadOnly(model.TxnID{}, objs...), 400_000)
+	if res == nil || !res.OK() {
+		return nil, fmt.Errorf("adversary: T_in_r did not complete: %v", res)
+	}
+	for _, obj := range objs {
+		if res.Value(obj) != protocol.InitialValue(obj) {
+			return nil, fmt.Errorf("adversary: T_in_r read %s = %q, want the initial value %q",
+				obj, res.Value(obj), protocol.InitialValue(obj))
+		}
+	}
+	d.Settle(400_000)
+	d.Kernel.Annotate(sim.EvMark, cw, "C0: T_in_r complete, no message in transit")
+	return d, nil
+}
+
+// oldValues returns the initial-value map for the deployment's objects.
+func oldValues(d *protocol.Deployment) map[string]model.Value {
+	out := make(map[string]model.Value)
+	for _, obj := range d.Place.Objects() {
+		out[obj] = protocol.InitialValue(obj)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/protocols/eigerps"
+)
+
+// TestEigerpsStarvationWitness exercises the third outcome of the theorem:
+// a protocol that keeps all four properties AND causal consistency can
+// only do so by giving up minimal progress (Definition 3). eigerps models
+// the paper's †-systems (Eiger-PS, SwiftCloud): its writes complete but
+// their values never become visible in-model. The adversary must observe
+// the infinite execution α of Theorem 1 — every induction segment contains
+// another server message ms_k and the values are never visible — and
+// return the "minimal-progress" verdict, never a consistency violation.
+func TestEigerpsStarvationWitness(t *testing.T) {
+	a := NewAttack(eigerps.New())
+	v, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", v)
+	if v.Sacrifices != "minimal-progress" {
+		t.Fatalf("verdict = %q, want minimal-progress", v.Sacrifices)
+	}
+	if v.Witness != nil {
+		t.Fatalf("unexpected consistency witness: %v", v.Witness)
+	}
+	if len(v.Steps) == 0 {
+		t.Fatal("no induction steps recorded — the infinite execution was not observed")
+	}
+	for _, s := range v.Steps {
+		if s.NewValuesVisible {
+			t.Fatalf("claim 2 violated at step %d for a protocol that never publishes", s.K)
+		}
+		if s.Msk == "" {
+			t.Fatalf("step %d has no ms_k", s.K)
+		}
+	}
+}
+
+// TestEigerpsDeeperInduction runs the induction deeper to demonstrate that
+// the prefixes α_k keep extending — the execution α is unbounded.
+func TestEigerpsDeeperInduction(t *testing.T) {
+	a := NewAttack(eigerps.New())
+	a.MaxK = 16
+	v, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sacrifices != "minimal-progress" {
+		t.Fatalf("verdict = %q", v.Sacrifices)
+	}
+	if len(v.Steps) < 8 {
+		t.Fatalf("induction stalled early: %d steps", len(v.Steps))
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	ps := All()
+	if len(ps) != 14 {
+		t.Fatalf("protocols = %d, want 14", len(ps))
+	}
+	for _, p := range ps {
+		if ByName(p.Name()) == nil {
+			t.Fatalf("ByName(%q) = nil", p.Name())
+		}
+	}
+	if ByName("nonexistent") != nil {
+		t.Fatal("ByName of unknown returned a protocol")
+	}
+	if len(Names()) != 14 {
+		t.Fatal("Names size mismatch")
+	}
+}
+
+func TestCharacterizeVictimAndCorner(t *testing.T) {
+	seeds := []int64{1, 2}
+	row, err := Characterize(ByName("naivefast"), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Profile.FastROT() {
+		t.Fatalf("naivefast not measured fast: %+v", row.Profile)
+	}
+	if row.Verdict.Sacrifices != "consistency" {
+		t.Fatalf("naivefast verdict = %q", row.Verdict.Sacrifices)
+	}
+
+	row, err = Characterize(ByName("copssnow"), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Profile.FastROT() || row.Profile.MultiWrite {
+		t.Fatalf("copssnow profile wrong: %+v", row.Profile)
+	}
+	if !row.Profile.CausalOK {
+		t.Fatalf("copssnow causal check failed: %s", row.Profile.CausalReason)
+	}
+	if row.Verdict.Sacrifices != "W" {
+		t.Fatalf("copssnow verdict = %q", row.Verdict.Sacrifices)
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	rows, err := Table1([]int64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"copssnow", "wren", "spanner", "sacrifices"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The theorem: nobody gets everything. Every row sacrifices something.
+	for _, r := range rows {
+		if r.Verdict.Sacrifices == "" {
+			t.Fatalf("%s sacrifices nothing — impossible per Theorem 1", r.Profile.Protocol)
+		}
+	}
+	if len(PaperRows()) != 14 {
+		t.Fatal("paper rows incomplete")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LatencyReport is the outcome of one latency experiment (E7): virtual-time
+// latencies of read-only and write transactions and write-visibility
+// staleness, under a well-behaved network scheduler.
+type LatencyReport struct {
+	Protocol   string
+	Mix        workload.Mix
+	ROT        stats.Summary // read-only transaction latency (virtual µs)
+	Write      stats.Summary // write transaction latency
+	Staleness  stats.Summary // write completion → value visibility
+	ROTRounds  float64       // mean rounds per ROT
+	Incomplete int           // transactions that did not finish (should be 0)
+}
+
+func (r LatencyReport) String() string {
+	return fmt.Sprintf("%-12s ROT{%s} rounds=%.2f\n%-12s write{%s}\n%-12s staleness{%s}",
+		r.Protocol, r.ROT, r.ROTRounds, "", r.Write, "", r.Staleness)
+}
+
+// MeasureLatency runs txns transactions of the mix on a fresh deployment
+// of p, driven by the Network scheduler (earliest-arrival delivery), and
+// reports latencies. Multi-object writes degrade to single-object writes
+// for protocols without the W property.
+func MeasureLatency(p protocol.Protocol, mix workload.Mix, txns int, seed int64) (LatencyReport, error) {
+	rep := LatencyReport{Protocol: p.Name(), Mix: mix}
+	d := protocol.Deploy(p, protocol.Config{
+		Servers: 2, ObjectsPerServer: 2, Clients: 2, Seed: seed,
+	})
+	if err := d.InitAll(400_000); err != nil {
+		return rep, err
+	}
+	gen := workload.NewGenerator(mix, d.Place.Objects(), seed*31+7)
+	multiWrite := p.Claims().MultiWriteTxn
+
+	rot := stats.NewCollector()
+	wr := stats.NewCollector()
+	stale := stats.NewCollector()
+	rounds, nROT := 0, 0
+	sched := &sim.Network{}
+
+	for i := 0; i < txns; i++ {
+		txn := gen.Next("c0")
+		if !txn.IsReadOnly() && !multiWrite {
+			txn = gen.NextSingleWrite("c0")
+		}
+		res := d.RunTxnWith("c0", txn.Clone(), sched, 500_000)
+		if res == nil || !res.OK() {
+			rep.Incomplete++
+			continue
+		}
+		lat := res.Completed - res.Invoked
+		if txn.IsReadOnly() {
+			rot.Add(lat)
+			rounds += res.Rounds
+			nROT++
+		} else {
+			wr.Add(lat)
+			// Staleness: drive the system until the written values are
+			// visible to fresh readers and record the extra time.
+			want := make(map[string]model.Value)
+			for _, w := range res.Txn.Writes {
+				want[w.Object] = w.Value
+			}
+			t0 := d.Kernel.Now()
+			visible := d.VisibleAll(d.Readers[0], want, true).Visible
+			for tries := 0; tries < 64 && !visible; tries++ {
+				sim.Run(d.Kernel, sched, nil, 32)
+				visible = d.VisibleAll(d.Readers[0], want, true).Visible
+			}
+			if visible {
+				stale.Add(int64(d.Kernel.Now() - t0))
+			} else {
+				rep.Incomplete++
+			}
+		}
+	}
+	rep.ROT = rot.Summarize()
+	rep.Write = wr.Summarize()
+	rep.Staleness = stale.Summarize()
+	if nROT > 0 {
+		rep.ROTRounds = float64(rounds) / float64(nROT)
+	}
+	return rep, nil
+}
+
+// LatencySweep measures every protocol under the given mix.
+func LatencySweep(mix workload.Mix, txns int, seed int64) ([]LatencyReport, error) {
+	var out []LatencyReport
+	for _, p := range All() {
+		rep, err := MeasureLatency(p, mix, txns, seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: latency for %s: %w", p.Name(), err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// FormatLatency renders a sweep as a table.
+func FormatLatency(reports []LatencyReport) string {
+	out := fmt.Sprintf("%-12s | %10s | %10s | %8s | %10s | %12s\n",
+		"System", "ROT p50", "ROT p99", "rounds", "write p50", "staleness p50")
+	out += "-------------------------------------------------------------------------------\n"
+	for _, r := range reports {
+		out += fmt.Sprintf("%-12s | %10d | %10d | %8.2f | %10d | %12d\n",
+			r.Protocol, r.ROT.P50, r.ROT.P99, r.ROTRounds, r.Write.P50, r.Staleness.P50)
+	}
+	return out
+}

@@ -1,0 +1,392 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Verdict is the outcome of a consistency check.
+type Verdict struct {
+	OK     bool
+	Reason string
+	// Witness is a serialization order that certifies OK verdicts: for
+	// causal consistency, the serialization found for the last client
+	// checked; for (strict) serializability, the single total order.
+	Witness []model.TxnID
+}
+
+func ok(witness []model.TxnID) Verdict { return Verdict{OK: true, Witness: witness} }
+
+func fail(format string, args ...any) Verdict {
+	return Verdict{OK: false, Reason: fmt.Sprintf(format, args...)}
+}
+
+// maxTxns bounds the exact-search checkers; experiment windows stay well
+// below it.
+const maxTxns = 62
+
+// graph is the precomputed dependency structure shared by the checkers.
+type graph struct {
+	h     *History
+	txns  []*TxnRecord
+	index map[model.TxnID]int
+	// preds[i] is the bitmask of direct predecessors of txn i under the
+	// relation being checked (program order ∪ reads-from [∪ real time]).
+	preds []uint64
+	// lastVal(obj, writer) lookup: the value txn i leaves in obj.
+	writes []map[string]model.Value
+}
+
+// build constructs the dependency graph. realTime adds completed-before-
+// invoked edges (for strict serializability). It returns an error verdict
+// for malformed histories (too large, duplicate values, dangling reads).
+func build(h *History, realTime bool) (*graph, *Verdict) {
+	g := &graph{h: h, txns: h.Records(), index: make(map[model.TxnID]int)}
+	n := len(g.txns)
+	if n > maxTxns {
+		v := fail("history too large for exact checking: %d > %d transactions", n, maxTxns)
+		return nil, &v
+	}
+	for i, t := range g.txns {
+		if _, dup := g.index[t.ID]; dup {
+			v := fail("duplicate transaction id %s", t.ID)
+			return nil, &v
+		}
+		g.index[t.ID] = i
+	}
+	g.preds = make([]uint64, n)
+	g.writes = make([]map[string]model.Value, n)
+
+	// Writer lookup: (object, value) -> txn index. Distinct values
+	// required.
+	type ov struct {
+		o string
+		v model.Value
+	}
+	writer := make(map[ov]int)
+	for i, t := range g.txns {
+		g.writes[i] = make(map[string]model.Value, len(t.Writes))
+		for _, w := range t.Writes {
+			g.writes[i][w.Object] = w.Value // last write wins
+		}
+		for obj, val := range g.writes[i] {
+			key := ov{obj, val}
+			if j, dup := writer[key]; dup && j != i {
+				v := fail("values not distinct: %s=%s written by both %s and %s",
+					obj, val, g.txns[j].ID, t.ID)
+				return nil, &v
+			}
+			writer[key] = i
+		}
+	}
+
+	// Program order: chain per client.
+	for _, c := range h.Clients() {
+		recs := h.ByClient(c)
+		for i := 1; i < len(recs); i++ {
+			g.preds[g.index[recs[i].ID]] |= 1 << uint(g.index[recs[i-1].ID])
+		}
+	}
+
+	// Reads-from: forced by value distinctness.
+	for i, t := range g.txns {
+		for obj, val := range t.Reads {
+			if val == h.Initial(obj) {
+				continue // reads the initial value
+			}
+			j, found := writer[ov{obj, val}]
+			if !found {
+				v := fail("dangling read: %s read %s=%s, never written", t.ID, obj, val)
+				return nil, &v
+			}
+			if j != i {
+				g.preds[i] |= 1 << uint(j)
+			}
+		}
+	}
+
+	if realTime {
+		for i, a := range g.txns {
+			if a.Completed < 0 {
+				continue
+			}
+			for j, b := range g.txns {
+				if i != j && a.Completed < b.Invoked {
+					g.preds[j] |= 1 << uint(i)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// acyclic checks the (transitive) predecessor relation for cycles via
+// Kahn's algorithm and returns a topological order when acyclic.
+func (g *graph) acyclic() ([]int, bool) {
+	n := len(g.txns)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		m := g.preds[i]
+		for m != 0 {
+			m &= m - 1
+			indeg[i]++
+		}
+	}
+	var order []int
+	var frontier []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, v)
+		for j := 0; j < n; j++ {
+			if g.preds[j]&(1<<uint(v)) != 0 {
+				indeg[j]--
+				if indeg[j] == 0 {
+					frontier = append(frontier, j)
+				}
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// legalFor searches for a linear extension of g in which every transaction
+// in checkSet (bitmask) is legal: each of its reads returns the value of
+// the last preceding write to that object, or the initial value when no
+// write precedes it. Returns the witness order on success.
+func (g *graph) legalFor(checkSet uint64) ([]int, bool) {
+	n := len(g.txns)
+	failed := make(map[string]bool)
+
+	lastWrite := make(map[string]model.Value)
+	fingerprint := func(mask uint64) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%x|", mask)
+		objs := make([]string, 0, len(lastWrite))
+		for o := range lastWrite {
+			objs = append(objs, o)
+		}
+		sort.Strings(objs)
+		for _, o := range objs {
+			b.WriteString(o)
+			b.WriteByte('=')
+			b.WriteString(string(lastWrite[o]))
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+
+	order := make([]int, 0, n)
+	var search func(mask uint64) bool
+	search = func(mask uint64) bool {
+		if mask == (uint64(1)<<uint(n))-1 {
+			return true
+		}
+		fp := fingerprint(mask)
+		if failed[fp] {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 || g.preds[i]&^mask != 0 {
+				continue
+			}
+			t := g.txns[i]
+			if checkSet&bit != 0 && !g.legalHere(t, lastWrite) {
+				continue
+			}
+			// Place i.
+			saved := make(map[string]model.Value, len(g.writes[i]))
+			for obj, val := range g.writes[i] {
+				if prev, okPrev := lastWrite[obj]; okPrev {
+					saved[obj] = prev
+				} else {
+					saved[obj] = "\x00absent"
+				}
+				lastWrite[obj] = val
+			}
+			order = append(order, i)
+			if search(mask | bit) {
+				return true
+			}
+			order = order[:len(order)-1]
+			for obj, prev := range saved {
+				if prev == "\x00absent" {
+					delete(lastWrite, obj)
+				} else {
+					lastWrite[obj] = prev
+				}
+			}
+		}
+		failed[fp] = true
+		return false
+	}
+	if !search(0) {
+		return nil, false
+	}
+	return order, true
+}
+
+// legalHere reports whether t's reads are legal given the current
+// last-write map (initial values when absent).
+func (g *graph) legalHere(t *TxnRecord, lastWrite map[string]model.Value) bool {
+	for obj, val := range t.Reads {
+		want, written := lastWrite[obj]
+		if !written {
+			want = g.h.Initial(obj)
+		}
+		if val != want {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *graph) witness(order []int) []model.TxnID {
+	out := make([]model.TxnID, len(order))
+	for i, idx := range order {
+		out[i] = g.txns[idx].ID
+	}
+	return out
+}
+
+// CheckCausal checks Definition 1: the causal relation must be acyclic and
+// every client must have a serialization of all transactions, respecting
+// causal order and all program orders, in which its own transactions are
+// legal.
+func CheckCausal(h *History) Verdict {
+	g, errv := build(h, false)
+	if errv != nil {
+		return *errv
+	}
+	if _, isDag := g.acyclic(); !isDag {
+		return fail("causal relation is cyclic")
+	}
+	var lastWitness []model.TxnID
+	for _, c := range h.Clients() {
+		var checkSet uint64
+		any := false
+		for _, rec := range h.ByClient(c) {
+			checkSet |= 1 << uint(g.index[rec.ID])
+			if len(rec.Reads) > 0 {
+				any = true
+			}
+		}
+		if !any {
+			continue // write-only clients are satisfied by any extension
+		}
+		order, found := g.legalFor(checkSet)
+		if !found {
+			return fail("no causal serialization exists for client %s", c)
+		}
+		lastWitness = g.witness(order)
+	}
+	return ok(lastWitness)
+}
+
+// CheckSerializable checks classic serializability: one serialization of
+// all transactions, respecting program order and reads-from, legal for
+// every transaction.
+func CheckSerializable(h *History) Verdict {
+	g, errv := build(h, false)
+	if errv != nil {
+		return *errv
+	}
+	if _, isDag := g.acyclic(); !isDag {
+		return fail("dependency relation is cyclic")
+	}
+	order, found := g.legalFor(^uint64(0))
+	if !found {
+		return fail("no serialization exists")
+	}
+	return ok(g.witness(order))
+}
+
+// CheckStrictSerializable additionally requires the serialization to
+// respect real-time order (a transaction that completed before another was
+// invoked must be serialized first).
+func CheckStrictSerializable(h *History) Verdict {
+	g, errv := build(h, true)
+	if errv != nil {
+		return *errv
+	}
+	if _, isDag := g.acyclic(); !isDag {
+		return fail("real-time-augmented dependency relation is cyclic")
+	}
+	order, found := g.legalFor(^uint64(0))
+	if !found {
+		return fail("no strict serialization exists")
+	}
+	return ok(g.witness(order))
+}
+
+// CheckReadAtomic checks RAMP's read atomicity: no transaction observes a
+// fractured read — if T reads object X from writer W, and W also wrote
+// object Y which T reads, then T must read Y from W or from a transaction
+// that did not complete before W was invoked (i.e. not from a strictly
+// older writer). Dangling reads are also violations.
+func CheckReadAtomic(h *History) Verdict {
+	g, errv := build(h, false)
+	if errv != nil {
+		return *errv
+	}
+	writerOf := func(t *TxnRecord, obj string) (int, bool) {
+		val := t.Reads[obj]
+		if val == h.Initial(obj) {
+			return -1, true // initial pseudo-writer: older than everything
+		}
+		for j := range g.txns {
+			if v, wrote := g.writes[j][obj]; wrote && v == val {
+				return j, true
+			}
+		}
+		return 0, false
+	}
+	for _, t := range g.txns {
+		for obj := range t.Reads {
+			w, found := writerOf(t, obj)
+			if !found {
+				return fail("dangling read in %s on %s", t.ID, obj)
+			}
+			if w < 0 {
+				continue
+			}
+			for obj2 := range t.Reads {
+				if obj2 == obj {
+					continue
+				}
+				if _, siblingWrite := g.writes[w][obj2]; !siblingWrite {
+					continue
+				}
+				w2, found2 := writerOf(t, obj2)
+				if !found2 {
+					return fail("dangling read in %s on %s", t.ID, obj2)
+				}
+				if w2 == w {
+					continue
+				}
+				// Fractured if the observed writer of obj2 is strictly
+				// older than w (initial value, or completed before w was
+				// invoked).
+				if w2 < 0 {
+					return fail("fractured read: %s read %s from %s but %s from the initial value",
+						t.ID, obj, g.txns[w].ID, obj2)
+				}
+				a, b := g.txns[w2], g.txns[w]
+				if a.Completed >= 0 && a.Completed < b.Invoked {
+					return fail("fractured read: %s read %s from %s but %s from older %s",
+						t.ID, obj, b.ID, obj2, a.ID)
+				}
+			}
+		}
+	}
+	return ok(nil)
+}

@@ -1,0 +1,137 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Core is the common client machinery embedded by every protocol client:
+// transaction lifecycle, per-client sequence numbers, result collection
+// and timing. Protocol clients implement Step around it.
+type Core struct {
+	id      sim.ProcessID
+	pl      *Placement
+	seq     int
+	cur     *model.Txn
+	curRes  *model.Result
+	results map[model.TxnID]*model.Result
+	// started marks that the first step of the current transaction has
+	// run (the client has sent its first round).
+	started bool
+	rounds  int
+}
+
+// NewCore initializes the embedded client core.
+func NewCore(id sim.ProcessID, pl *Placement) Core {
+	return Core{id: id, pl: pl, results: make(map[model.TxnID]*model.Result)}
+}
+
+// ID implements sim.Process.
+func (c *Core) ID() sim.ProcessID { return c.id }
+
+// Placement returns the deployment placement.
+func (c *Core) Placement() *Placement { return c.pl }
+
+// Invoke implements Client.
+func (c *Core) Invoke(t *model.Txn) model.TxnID {
+	if c.cur != nil {
+		panic(fmt.Sprintf("protocol: client %s already has %s in flight", c.id, c.cur.ID))
+	}
+	c.seq++
+	if t.ID.IsZero() {
+		t.ID = model.TxnID{Client: string(c.id), Seq: c.seq}
+	}
+	c.cur = t
+	c.curRes = &model.Result{Txn: t, Values: make(map[string]model.Value), Invoked: -1}
+	c.started = false
+	c.rounds = 0
+	return t.ID
+}
+
+// Busy implements Client.
+func (c *Core) Busy() bool { return c.cur != nil }
+
+// Current returns the in-flight transaction (nil when idle).
+func (c *Core) Current() *model.Txn { return c.cur }
+
+// Result returns the in-flight transaction's accumulating result.
+func (c *Core) Result() *model.Result { return c.curRes }
+
+// Results implements Client.
+func (c *Core) Results() map[model.TxnID]*model.Result { return c.results }
+
+// Starting records the start of the current transaction on the first step
+// after Invoke and reports whether this step is that first step.
+func (c *Core) Starting(now sim.Time) bool {
+	if c.cur == nil || c.started {
+		return false
+	}
+	c.started = true
+	c.curRes.Invoked = int64(now)
+	return true
+}
+
+// Started reports whether the current transaction's first step has run.
+func (c *Core) Started() bool { return c.cur != nil && c.started }
+
+// SentRound counts a request-sending round (for Result.Rounds bookkeeping).
+func (c *Core) SentRound() { c.rounds++ }
+
+// Finish completes the current transaction with the accumulated values.
+func (c *Core) Finish(now sim.Time) *model.Result {
+	if c.cur == nil {
+		panic("protocol: Finish with no transaction in flight")
+	}
+	res := c.curRes
+	res.Completed = int64(now)
+	res.Rounds = c.rounds
+	c.results[c.cur.ID] = res
+	c.cur, c.curRes = nil, nil
+	return res
+}
+
+// Reject completes the current transaction immediately with an error (used
+// for unsupported transaction shapes, e.g. multi-object writes on systems
+// without write transactions).
+func (c *Core) Reject(now sim.Time, why string) *model.Result {
+	if c.cur == nil {
+		panic("protocol: Reject with no transaction in flight")
+	}
+	res := c.curRes
+	if res.Invoked < 0 {
+		res.Invoked = int64(now)
+	}
+	res.Err = why
+	res.Completed = int64(now)
+	c.results[c.cur.ID] = res
+	c.cur, c.curRes = nil, nil
+	return res
+}
+
+// CloneCore deep-copies the core (for Process.Clone implementations).
+func (c *Core) CloneCore() Core {
+	cp := *c
+	if c.cur != nil {
+		cp.cur = c.cur.Clone()
+	}
+	if c.curRes != nil {
+		r := *c.curRes
+		r.Txn = cp.cur
+		r.Values = make(map[string]model.Value, len(c.curRes.Values))
+		for k, v := range c.curRes.Values {
+			r.Values[k] = v
+		}
+		cp.curRes = &r
+	}
+	cp.results = make(map[model.TxnID]*model.Result, len(c.results))
+	for k, v := range c.results {
+		cp.results[k] = v // completed results are immutable
+	}
+	return cp
+}
+
+// RejectsMultiWrite reports whether the transaction is a multi-object
+// write transaction, which protocols without the W property must reject.
+func RejectsMultiWrite(t *model.Txn) bool { return len(t.WriteSet()) > 1 }

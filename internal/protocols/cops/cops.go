@@ -1,0 +1,388 @@
+// Package cops models COPS (Lloyd et al., SOSP 2011): causally consistent,
+// single-object writes carrying explicit dependency metadata, and get-
+// transactions (read-only transactions) that are non-blocking and take at
+// most two rounds — the first round optimistically fetches the latest
+// value of every object plus its dependency list; if the returned versions
+// are mutually inconsistent (some value depends on a newer version of
+// another object than the one returned), a second round fetches the
+// specific missing versions. Each message carries at most one value per
+// object, but an object may be fetched twice across the two rounds (the
+// "≤ 2 rounds, ≤ 2 values" row of Table 1).
+package cops
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Protocol is the cops factory.
+type Protocol struct{}
+
+// New returns the protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements protocol.Protocol.
+func (*Protocol) Name() string { return "cops" }
+
+// Claims implements protocol.Protocol.
+func (*Protocol) Claims() protocol.Claims {
+	return protocol.Claims{
+		OneRound:      false, // up to 2
+		OneValue:      true,  // per message
+		NonBlocking:   true,
+		MultiWriteTxn: false,
+		Consistency:   "causal",
+	}
+}
+
+// NewServer implements protocol.Protocol.
+func (*Protocol) NewServer(id sim.ProcessID, pl *protocol.Placement) sim.Process {
+	return &server{id: id, pl: pl, st: store.New(pl.HostedBy(id)...), deps: make(map[string][]depRef)}
+}
+
+// NewClient implements protocol.Protocol.
+func (*Protocol) NewClient(id sim.ProcessID, pl *protocol.Placement) protocol.Client {
+	return &client{Core: protocol.NewCore(id, pl), ctx: make(map[string]depRef)}
+}
+
+// depRef names a specific version: object, writer and per-object sequence.
+type depRef struct {
+	Object string
+	Writer model.TxnID
+	Seq    int64
+}
+
+// --- payloads ---
+
+type readReq struct {
+	TID  model.TxnID
+	Objs []string
+}
+
+func (p *readReq) Kind() string               { return "read-req" }
+func (p *readReq) Clone() sim.Payload         { c := *p; c.Objs = append([]string(nil), p.Objs...); return &c }
+func (p *readReq) Txn() model.TxnID           { return p.TID }
+func (p *readReq) PayloadRole() protocol.Role { return protocol.RoleReadReq }
+
+type readVal struct {
+	Ref  model.ValueRef
+	Seq  int64
+	Deps []depRef
+}
+
+type readResp struct {
+	TID  model.TxnID
+	Vals []readVal
+}
+
+func (p *readResp) Kind() string { return "read-resp" }
+func (p *readResp) Clone() sim.Payload {
+	c := *p
+	c.Vals = make([]readVal, len(p.Vals))
+	for i, v := range p.Vals {
+		v.Deps = append([]depRef(nil), v.Deps...)
+		c.Vals[i] = v
+	}
+	return &c
+}
+func (p *readResp) Txn() model.TxnID           { return p.TID }
+func (p *readResp) PayloadRole() protocol.Role { return protocol.RoleReadResp }
+func (p *readResp) CarriedValues() []model.ValueRef {
+	out := make([]model.ValueRef, 0, len(p.Vals))
+	for _, v := range p.Vals {
+		if v.Ref.Value != model.Bottom {
+			out = append(out, v.Ref)
+		}
+	}
+	return out
+}
+
+// readAtReq is the second-round fetch of a version at or after minSeq.
+type readAtReq struct {
+	TID    model.TxnID
+	Object string
+	MinSeq int64
+}
+
+func (p *readAtReq) Kind() string               { return "read-at-req" }
+func (p *readAtReq) Clone() sim.Payload         { c := *p; return &c }
+func (p *readAtReq) Txn() model.TxnID           { return p.TID }
+func (p *readAtReq) PayloadRole() protocol.Role { return protocol.RoleReadReq }
+
+type writeReq struct {
+	TID  model.TxnID
+	W    model.Write
+	Deps []depRef
+}
+
+func (p *writeReq) Kind() string { return "write-req" }
+func (p *writeReq) Clone() sim.Payload {
+	c := *p
+	c.Deps = append([]depRef(nil), p.Deps...)
+	return &c
+}
+func (p *writeReq) Txn() model.TxnID           { return p.TID }
+func (p *writeReq) PayloadRole() protocol.Role { return protocol.RoleWriteReq }
+
+type writeResp struct {
+	TID model.TxnID
+	Seq int64
+}
+
+func (p *writeResp) Kind() string               { return "write-ack" }
+func (p *writeResp) Clone() sim.Payload         { c := *p; return &c }
+func (p *writeResp) Txn() model.TxnID           { return p.TID }
+func (p *writeResp) PayloadRole() protocol.Role { return protocol.RoleWriteResp }
+
+// --- server ---
+
+type server struct {
+	id   sim.ProcessID
+	pl   *protocol.Placement
+	st   *store.Store
+	deps map[string][]depRef // (object\x00writer) -> dependency list
+}
+
+func depsKey(obj string, w model.TxnID) string { return obj + "\x00" + w.String() }
+
+func (s *server) ID() sim.ProcessID { return s.id }
+func (s *server) Ready() bool       { return false }
+
+func (s *server) Clone() sim.Process {
+	c := &server{id: s.id, pl: s.pl, st: s.st.Clone(), deps: make(map[string][]depRef, len(s.deps))}
+	for k, v := range s.deps {
+		c.deps[k] = append([]depRef(nil), v...)
+	}
+	return c
+}
+
+func (s *server) valOf(v *store.Version) readVal {
+	return readVal{
+		Ref:  model.ValueRef{Object: v.Object, Value: v.Value, Writer: v.Writer},
+		Seq:  v.Seq,
+		Deps: s.deps[depsKey(v.Object, v.Writer)],
+	}
+}
+
+func (s *server) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
+	var out []sim.Outbound
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case *readReq:
+			resp := &readResp{TID: p.TID}
+			for _, obj := range p.Objs {
+				if v := s.st.LatestVisible(obj); v != nil {
+					resp.Vals = append(resp.Vals, s.valOf(v))
+				} else {
+					resp.Vals = append(resp.Vals, readVal{Ref: model.ValueRef{Object: obj, Value: model.Bottom}})
+				}
+			}
+			out = append(out, sim.Outbound{To: m.From, Payload: resp})
+		case *readAtReq:
+			resp := &readResp{TID: p.TID}
+			// The latest visible version's sequence is ≥ MinSeq whenever
+			// the dependency was written by a completed transaction, so
+			// this never blocks.
+			if v := s.st.LatestVisible(p.Object); v != nil && v.Seq >= p.MinSeq {
+				resp.Vals = append(resp.Vals, s.valOf(v))
+			} else if v != nil {
+				resp.Vals = append(resp.Vals, s.valOf(v))
+			} else {
+				resp.Vals = append(resp.Vals, readVal{Ref: model.ValueRef{Object: p.Object, Value: model.Bottom}})
+			}
+			out = append(out, sim.Outbound{To: m.From, Payload: resp})
+		case *writeReq:
+			v := s.st.Install(&store.Version{Object: p.W.Object, Value: p.W.Value, Writer: p.TID, Visible: true})
+			s.deps[depsKey(p.W.Object, p.TID)] = append([]depRef(nil), p.Deps...)
+			out = append(out, sim.Outbound{To: m.From, Payload: &writeResp{TID: p.TID, Seq: v.Seq}})
+		default:
+			panic(fmt.Sprintf("cops: server %s got %T", s.id, m.Payload))
+		}
+	}
+	return out
+}
+
+// --- client ---
+
+type phase uint8
+
+const (
+	idle phase = iota
+	round1
+	round2
+	writing
+)
+
+type client struct {
+	protocol.Core
+	phase   phase
+	pending int
+	ctx     map[string]depRef // causal context: latest observed version per object
+	got     map[string]readVal
+}
+
+func (c *client) Clone() sim.Process {
+	cp := &client{Core: c.CloneCore(), phase: c.phase, pending: c.pending, ctx: make(map[string]depRef, len(c.ctx))}
+	for k, v := range c.ctx {
+		cp.ctx[k] = v
+	}
+	if c.got != nil {
+		cp.got = make(map[string]readVal, len(c.got))
+		for k, v := range c.got {
+			cp.got[k] = v
+		}
+	}
+	return cp
+}
+
+func (c *client) Ready() bool { return c.Busy() && !c.Started() }
+
+func (c *client) observe(v readVal) {
+	cur, seen := c.ctx[v.Ref.Object]
+	if !seen || v.Seq > cur.Seq {
+		c.ctx[v.Ref.Object] = depRef{Object: v.Ref.Object, Writer: v.Ref.Writer, Seq: v.Seq}
+	}
+}
+
+func (c *client) ctxList() []depRef {
+	objs := make([]string, 0, len(c.ctx))
+	for o := range c.ctx {
+		objs = append(objs, o)
+	}
+	sort.Strings(objs)
+	out := make([]depRef, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, c.ctx[o])
+	}
+	return out
+}
+
+// inconsistencies returns, per object, the minimum sequence required by
+// the dependencies of the fetched versions that the fetched snapshot does
+// not meet.
+func (c *client) inconsistencies() map[string]int64 {
+	need := make(map[string]int64)
+	for _, v := range c.got {
+		for _, d := range v.Deps {
+			have, fetched := c.got[d.Object]
+			if !fetched {
+				continue // dependency outside the read set: irrelevant
+			}
+			if have.Seq < d.Seq && need[d.Object] < d.Seq {
+				need[d.Object] = d.Seq
+			}
+		}
+	}
+	return need
+}
+
+func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
+	var out []sim.Outbound
+	for _, m := range inbox {
+		if !c.Busy() {
+			continue
+		}
+		switch p := m.Payload.(type) {
+		case *readResp:
+			if p.TID == c.Current().ID && (c.phase == round1 || c.phase == round2) {
+				for _, v := range p.Vals {
+					if cur, fetched := c.got[v.Ref.Object]; !fetched || v.Seq > cur.Seq {
+						c.got[v.Ref.Object] = v
+					}
+				}
+				c.pending--
+			}
+		case *writeResp:
+			if p.TID == c.Current().ID && c.phase == writing {
+				w := c.Current().Writes[len(c.Current().Writes)-1]
+				c.ctx[w.Object] = depRef{Object: w.Object, Writer: p.TID, Seq: p.Seq}
+				c.pending--
+			}
+		}
+	}
+	if c.Starting(now) {
+		t := c.Current()
+		if len(t.WriteSet()) > 1 {
+			c.Reject(now, "cops: multi-object write transactions unsupported")
+			return out
+		}
+		if len(t.Writes) > 0 && len(t.ReadSet) > 0 {
+			c.Reject(now, "cops: read-write transactions unsupported")
+			return out
+		}
+		if t.IsReadOnly() {
+			c.phase = round1
+			c.got = make(map[string]readVal)
+			readsBy := make(map[sim.ProcessID][]string)
+			for _, obj := range t.ReadSet {
+				p := c.Placement().PrimaryOf(obj)
+				readsBy[p] = append(readsBy[p], obj)
+			}
+			for _, srv := range c.Placement().Servers() {
+				if objs, involved := readsBy[srv]; involved {
+					out = append(out, sim.Outbound{To: srv, Payload: &readReq{TID: t.ID, Objs: objs}})
+					c.pending++
+				}
+			}
+		} else {
+			c.phase = writing
+			w := t.Writes[len(t.Writes)-1]
+			out = append(out, sim.Outbound{To: c.Placement().PrimaryOf(w.Object), Payload: &writeReq{
+				TID: t.ID, W: w, Deps: c.ctxList(),
+			}})
+			c.pending++
+		}
+		c.SentRound()
+		return out
+	}
+	if c.Busy() && c.Started() && c.pending == 0 {
+		t := c.Current()
+		switch c.phase {
+		case round1:
+			need := c.inconsistencies()
+			if len(need) == 0 {
+				c.finishRead(now)
+				return out
+			}
+			// Second round: fetch the specific newer versions.
+			c.phase = round2
+			objs := make([]string, 0, len(need))
+			for o := range need {
+				objs = append(objs, o)
+			}
+			sort.Strings(objs)
+			for _, o := range objs {
+				out = append(out, sim.Outbound{To: c.Placement().PrimaryOf(o), Payload: &readAtReq{
+					TID: t.ID, Object: o, MinSeq: need[o],
+				}})
+				c.pending++
+			}
+			c.SentRound()
+		case round2:
+			c.finishRead(now)
+		case writing:
+			c.phase = idle
+			c.Finish(now)
+		}
+	}
+	return out
+}
+
+func (c *client) finishRead(now sim.Time) {
+	t := c.Current()
+	for _, obj := range t.ReadSet {
+		v := c.got[obj]
+		c.Result().Values[obj] = v.Ref.Value
+		if v.Ref.Value != model.Bottom {
+			c.observe(v)
+		}
+	}
+	c.phase = idle
+	c.got = nil
+	c.Finish(now)
+}

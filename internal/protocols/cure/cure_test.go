@@ -1,0 +1,85 @@
+package cure_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/protocols/cure"
+	"repro/internal/protocols/ptest"
+	"repro/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	ptest.Run(t, cure.New(), ptest.Expect{
+		ROTRounds:  2,
+		Blocking:   false, // happy path; parks under pending 2PC, below
+		MultiWrite: true,
+		Causal:     true,
+	})
+}
+
+// TestReadParksBehindPendingPrepare: a prepared-but-uncommitted
+// transaction below the requested snapshot parks the read; it is served
+// once the commit arrives — and with the committed value, never a
+// half-applied state.
+func TestReadParksBehindPendingPrepare(t *testing.T) {
+	d := ptest.Deploy(t, cure.New(), ptest.Expect{}, 139)
+	// First a committed write to raise the stable vector.
+	if res := d.RunTxn("c0", model.NewWriteOnly(model.TxnID{},
+		model.Write{Object: "X0", Value: "a0"}, model.Write{Object: "X1", Value: "a1"}), 400_000); !res.OK() {
+		t.Fatal("first write failed")
+	}
+	d.Settle(400_000)
+
+	// Second write: deliver prepares, but freeze the commit to s0.
+	d.Invoke("c0", model.NewWriteOnly(model.TxnID{},
+		model.Write{Object: "X0", Value: "b0"}, model.Write{Object: "X1", Value: "b1"}))
+	d.Kernel.StepProcess("c0")
+	for _, s := range []sim.ProcessID{"s0", "s1"} {
+		for _, m := range d.Kernel.InTransitOn(sim.Link{From: "c0", To: s}) {
+			d.Kernel.Deliver(m.ID)
+		}
+		d.Kernel.StepProcess(s)
+	}
+	for _, s := range []sim.ProcessID{"s0", "s1"} {
+		for _, m := range d.Kernel.InTransitOn(sim.Link{From: s, To: "c0"}) {
+			d.Kernel.Deliver(m.ID)
+		}
+	}
+	d.Kernel.StepProcess("c0") // commits out
+	for _, m := range d.Kernel.InTransitOn(sim.Link{From: "c0", To: "s1"}) {
+		d.Kernel.Deliver(m.ID)
+	}
+	d.Kernel.StepProcess("s1") // s1 committed; s0 pending
+
+	// A frozen probe cannot complete against s0 if its snapshot covers
+	// the pending write... but the stable vector advertised by the
+	// servers excludes it, so the probe reads the PREVIOUS consistent
+	// snapshot (a0, a1) — stale, consistent, non-mixed.
+	res := d.Probe("r0", []string{"X0", "X1"}, []sim.ProcessID{"s0", "s1"}, true)
+	if res != nil {
+		v0, v1 := res.Value("X0"), res.Value("X1")
+		if (v0 == "b0") != (v1 == "b1") {
+			t.Fatalf("mixed read under pending 2PC: %v", res.Values)
+		}
+	}
+
+	// After the commit is released, the new values become visible.
+	d.Settle(400_000)
+	vis := d.VisibleAll("r1", map[string]model.Value{"X0": "b0", "X1": "b1"}, true)
+	if !vis.Visible {
+		t.Fatalf("values invisible after commit released: %+v", vis)
+	}
+}
+
+func TestWriterReadsOwnWritesImmediately(t *testing.T) {
+	d := ptest.Deploy(t, cure.New(), ptest.Expect{}, 149)
+	if res := d.RunTxn("c0", model.NewWriteOnly(model.TxnID{},
+		model.Write{Object: "X0", Value: "c0v"}, model.Write{Object: "X1", Value: "c1v"}), 400_000); !res.OK() {
+		t.Fatal("write failed")
+	}
+	res := d.RunTxn("c0", model.NewReadOnly(model.TxnID{}, "X0", "X1"), 400_000)
+	if !res.OK() || res.Value("X0") != "c0v" || res.Value("X1") != "c1v" {
+		t.Fatalf("writer misses own writes: %v", res)
+	}
+}

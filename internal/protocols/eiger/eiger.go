@@ -1,0 +1,411 @@
+// Package eiger models Eiger (Lloyd et al., NSDI 2013): causally
+// consistent multi-object write transactions via two-phase commit with
+// commit-invisible pending versions (2PC-CI), plus non-blocking read-only
+// transactions that take up to three rounds: round 1 fetches the latest
+// visible values and pending markers; if some fetched value could be
+// superseded by a transaction that is pending at another involved server,
+// the client re-requests the affected objects at the computed effective
+// time, retrying (bounded) until the pending commit lands. Logical Lamport
+// timestamps order commits.
+package eiger
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+// MaxReadRounds bounds ROT retries. Real Eiger resolves a pending
+// transaction in at most 3 rounds by asking the pending transaction's
+// coordinator for its commit decision; our model has no server-side
+// coordinator, so the client simply re-polls until the commit lands
+// (guaranteed in every legal execution, where all messages are delivered).
+// The bound is a safety valve against pathological schedules.
+const MaxReadRounds = 64
+
+// Protocol is the eiger factory.
+type Protocol struct{}
+
+// New returns the protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements protocol.Protocol.
+func (*Protocol) Name() string { return "eiger" }
+
+// Claims implements protocol.Protocol.
+func (*Protocol) Claims() protocol.Claims {
+	return protocol.Claims{
+		OneRound:      false, // ≤ 3
+		OneValue:      true,
+		NonBlocking:   true,
+		MultiWriteTxn: true,
+		Consistency:   "causal",
+	}
+}
+
+// NewServer implements protocol.Protocol.
+func (*Protocol) NewServer(id sim.ProcessID, pl *protocol.Placement) sim.Process {
+	return &server{
+		id: id, pl: pl, st: store.New(pl.HostedBy(id)...),
+		clock: &vclock.Lamport{}, pending: make(map[model.TxnID]int64),
+	}
+}
+
+// NewClient implements protocol.Protocol.
+func (*Protocol) NewClient(id sim.ProcessID, pl *protocol.Placement) protocol.Client {
+	return &client{Core: protocol.NewCore(id, pl)}
+}
+
+// --- payloads ---
+
+type readReq struct {
+	TID  model.TxnID
+	Objs []string
+	// At > 0 requests values at the given effective time (retry rounds).
+	At int64
+}
+
+func (p *readReq) Kind() string               { return "read-req" }
+func (p *readReq) Clone() sim.Payload         { c := *p; c.Objs = append([]string(nil), p.Objs...); return &c }
+func (p *readReq) Txn() model.TxnID           { return p.TID }
+func (p *readReq) PayloadRole() protocol.Role { return protocol.RoleReadReq }
+
+type readVal struct {
+	Ref model.ValueRef
+	TS  int64
+	// PendingBelow is the smallest pending-prepare timestamp on the
+	// object's server (0 = none): a value with TS < effective time while
+	// PendingBelow ≤ effective time may be superseded.
+	PendingBelow int64
+}
+
+type readResp struct {
+	TID  model.TxnID
+	Vals []readVal
+}
+
+func (p *readResp) Kind() string { return "read-resp" }
+func (p *readResp) Clone() sim.Payload {
+	c := *p
+	c.Vals = append([]readVal(nil), p.Vals...)
+	return &c
+}
+func (p *readResp) Txn() model.TxnID           { return p.TID }
+func (p *readResp) PayloadRole() protocol.Role { return protocol.RoleReadResp }
+func (p *readResp) CarriedValues() []model.ValueRef {
+	out := make([]model.ValueRef, 0, len(p.Vals))
+	for _, v := range p.Vals {
+		if v.Ref.Value != model.Bottom {
+			out = append(out, v.Ref)
+		}
+	}
+	return out
+}
+
+type prepareReq struct {
+	TID    model.TxnID
+	Writes []model.Write
+	DepTS  int64
+}
+
+func (p *prepareReq) Kind() string { return "prepare" }
+func (p *prepareReq) Clone() sim.Payload {
+	c := *p
+	c.Writes = append([]model.Write(nil), p.Writes...)
+	return &c
+}
+func (p *prepareReq) Txn() model.TxnID           { return p.TID }
+func (p *prepareReq) PayloadRole() protocol.Role { return protocol.RoleWriteReq }
+
+type prepareAck struct {
+	TID model.TxnID
+	TS  int64
+}
+
+func (p *prepareAck) Kind() string               { return "prepare-ack" }
+func (p *prepareAck) Clone() sim.Payload         { c := *p; return &c }
+func (p *prepareAck) Txn() model.TxnID           { return p.TID }
+func (p *prepareAck) PayloadRole() protocol.Role { return protocol.RoleWriteResp }
+
+type commitReq struct {
+	TID model.TxnID
+	TS  int64
+}
+
+func (p *commitReq) Kind() string               { return "commit" }
+func (p *commitReq) Clone() sim.Payload         { c := *p; return &c }
+func (p *commitReq) Txn() model.TxnID           { return p.TID }
+func (p *commitReq) PayloadRole() protocol.Role { return protocol.RoleWriteReq }
+
+type commitAck struct {
+	TID model.TxnID
+	TS  int64
+}
+
+func (p *commitAck) Kind() string               { return "commit-ack" }
+func (p *commitAck) Clone() sim.Payload         { c := *p; return &c }
+func (p *commitAck) Txn() model.TxnID           { return p.TID }
+func (p *commitAck) PayloadRole() protocol.Role { return protocol.RoleWriteResp }
+
+// --- server ---
+
+type server struct {
+	id      sim.ProcessID
+	pl      *protocol.Placement
+	st      *store.Store
+	clock   *vclock.Lamport
+	pending map[model.TxnID]int64
+}
+
+func (s *server) ID() sim.ProcessID { return s.id }
+func (s *server) Ready() bool       { return false }
+
+func (s *server) Clone() sim.Process {
+	c := &server{id: s.id, pl: s.pl, st: s.st.Clone(), clock: s.clock.Clone(),
+		pending: make(map[model.TxnID]int64, len(s.pending))}
+	for k, v := range s.pending {
+		c.pending[k] = v
+	}
+	return c
+}
+
+func (s *server) minPending() int64 {
+	min := int64(0)
+	for _, ts := range s.pending {
+		if min == 0 || ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+func (s *server) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
+	var out []sim.Outbound
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case *readReq:
+			resp := &readResp{TID: p.TID}
+			for _, obj := range p.Objs {
+				v := s.st.SnapshotRead(obj, vclock.HLCStamp{Wall: 1 << 62})
+				if v == nil {
+					resp.Vals = append(resp.Vals, readVal{Ref: model.ValueRef{Object: obj, Value: model.Bottom}})
+					continue
+				}
+				resp.Vals = append(resp.Vals, readVal{
+					Ref:          model.ValueRef{Object: obj, Value: v.Value, Writer: v.Writer},
+					TS:           v.Stamp.Wall,
+					PendingBelow: s.minPending(),
+				})
+			}
+			out = append(out, sim.Outbound{To: m.From, Payload: resp})
+		case *prepareReq:
+			s.clock.Observe(p.DepTS)
+			ts := s.clock.Tick()
+			s.pending[p.TID] = ts
+			for _, w := range p.Writes {
+				s.st.Install(&store.Version{Object: w.Object, Value: w.Value, Writer: p.TID,
+					Stamp: vclock.HLCStamp{Wall: ts}})
+			}
+			out = append(out, sim.Outbound{To: m.From, Payload: &prepareAck{TID: p.TID, TS: ts}})
+		case *commitReq:
+			s.clock.Observe(p.TS)
+			delete(s.pending, p.TID)
+			for _, obj := range s.st.Objects() {
+				if v := s.st.Find(obj, p.TID); v != nil {
+					v.Stamp = vclock.HLCStamp{Wall: p.TS}
+					v.Visible = true
+				}
+			}
+			out = append(out, sim.Outbound{To: m.From, Payload: &commitAck{TID: p.TID, TS: p.TS}})
+		default:
+			panic(fmt.Sprintf("eiger: server %s got %T", s.id, m.Payload))
+		}
+	}
+	return out
+}
+
+// --- client ---
+
+type phase uint8
+
+const (
+	idle phase = iota
+	reading
+	preparing
+	committing
+)
+
+type client struct {
+	protocol.Core
+	phase    phase
+	pending  int
+	depTS    int64
+	commitTS int64
+	rounds   int
+	writeTo  []sim.ProcessID
+	got      map[string]readVal
+}
+
+func (c *client) Clone() sim.Process {
+	cp := &client{Core: c.CloneCore(), phase: c.phase, pending: c.pending,
+		depTS: c.depTS, commitTS: c.commitTS, rounds: c.rounds}
+	cp.writeTo = append([]sim.ProcessID(nil), c.writeTo...)
+	if c.got != nil {
+		cp.got = make(map[string]readVal, len(c.got))
+		for k, v := range c.got {
+			cp.got[k] = v
+		}
+	}
+	return cp
+}
+
+func (c *client) Ready() bool { return c.Busy() && !c.Started() }
+
+func (c *client) sendReads(at int64) []sim.Outbound {
+	var out []sim.Outbound
+	t := c.Current()
+	readsBy := make(map[sim.ProcessID][]string)
+	for _, obj := range t.ReadSet {
+		p := c.Placement().PrimaryOf(obj)
+		readsBy[p] = append(readsBy[p], obj)
+	}
+	srvs := make([]sim.ProcessID, 0, len(readsBy))
+	for srv := range readsBy {
+		srvs = append(srvs, srv)
+	}
+	sort.Slice(srvs, func(i, j int) bool { return srvs[i] < srvs[j] })
+	for _, srv := range srvs {
+		out = append(out, sim.Outbound{To: srv, Payload: &readReq{TID: t.ID, Objs: readsBy[srv], At: at}})
+		c.pending++
+	}
+	c.SentRound()
+	c.rounds++
+	return out
+}
+
+// unstable reports whether a fetched snapshot may be superseded by a
+// pending transaction: some server reported a pending prepare at or below
+// the effective time while its returned value is older.
+func (c *client) unstable() bool {
+	eff := int64(0)
+	for _, v := range c.got {
+		if v.TS > eff {
+			eff = v.TS
+		}
+	}
+	for _, v := range c.got {
+		if v.PendingBelow > 0 && v.PendingBelow <= eff && v.TS < eff {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
+	var out []sim.Outbound
+	for _, m := range inbox {
+		if !c.Busy() {
+			continue
+		}
+		switch p := m.Payload.(type) {
+		case *readResp:
+			if p.TID == c.Current().ID && c.phase == reading {
+				for _, v := range p.Vals {
+					if cur, fetched := c.got[v.Ref.Object]; !fetched || v.TS >= cur.TS {
+						c.got[v.Ref.Object] = v
+					}
+				}
+				c.pending--
+			}
+		case *prepareAck:
+			if p.TID == c.Current().ID && c.phase == preparing {
+				if p.TS > c.commitTS {
+					c.commitTS = p.TS
+				}
+				c.pending--
+			}
+		case *commitAck:
+			if p.TID == c.Current().ID && c.phase == committing {
+				c.pending--
+			}
+		}
+	}
+	if c.Starting(now) {
+		t := c.Current()
+		if len(t.Writes) > 0 && len(t.ReadSet) > 0 {
+			c.Reject(now, "eiger: read-write transactions unsupported in this model")
+			return out
+		}
+		if t.IsReadOnly() {
+			c.phase = reading
+			c.rounds = 0
+			c.got = make(map[string]readVal)
+			out = append(out, c.sendReads(0)...)
+		} else {
+			c.phase = preparing
+			c.commitTS = 0
+			writesBy := make(map[sim.ProcessID][]model.Write)
+			for _, w := range t.Writes {
+				for _, srv := range c.Placement().ReplicasOf(w.Object) {
+					writesBy[srv] = append(writesBy[srv], w)
+				}
+			}
+			srvs := make([]sim.ProcessID, 0, len(writesBy))
+			for srv := range writesBy {
+				srvs = append(srvs, srv)
+			}
+			sort.Slice(srvs, func(i, j int) bool { return srvs[i] < srvs[j] })
+			c.writeTo = srvs
+			for _, srv := range srvs {
+				out = append(out, sim.Outbound{To: srv, Payload: &prepareReq{
+					TID: t.ID, Writes: writesBy[srv], DepTS: c.depTS,
+				}})
+				c.pending++
+			}
+			c.SentRound()
+		}
+		return out
+	}
+	if c.Busy() && c.Started() && c.pending == 0 {
+		t := c.Current()
+		switch c.phase {
+		case reading:
+			if c.unstable() && c.rounds < MaxReadRounds {
+				// Retry: a pending transaction below the effective time
+				// may commit into our snapshot.
+				out = append(out, c.sendReads(1)...)
+				return out
+			}
+			for _, obj := range t.ReadSet {
+				v := c.got[obj]
+				c.Result().Values[obj] = v.Ref.Value
+				if v.TS > c.depTS {
+					c.depTS = v.TS
+				}
+			}
+			c.phase = idle
+			c.got = nil
+			c.Finish(now)
+		case preparing:
+			c.phase = committing
+			for _, srv := range c.writeTo {
+				out = append(out, sim.Outbound{To: srv, Payload: &commitReq{TID: t.ID, TS: c.commitTS}})
+				c.pending++
+			}
+			c.SentRound()
+		case committing:
+			if c.commitTS > c.depTS {
+				c.depTS = c.commitTS
+			}
+			c.phase = idle
+			c.writeTo = nil
+			c.Finish(now)
+		}
+	}
+	return out
+}

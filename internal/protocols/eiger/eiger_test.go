@@ -1,0 +1,88 @@
+package eiger_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/protocols/eiger"
+	"repro/internal/protocols/ptest"
+	"repro/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	ptest.Run(t, eiger.New(), ptest.Expect{
+		ROTRounds:  1, // happy path; retries under pending commits
+		Blocking:   false,
+		MultiWrite: true,
+		Causal:     true,
+	})
+}
+
+// TestRetryResolvesPendingCommit: the ROT races a write transaction whose
+// commit reaches s1 before s0. Round 1 observes new X1 and old X0 with a
+// pending marker; the client must keep re-polling (not return the mixed
+// pair) until the commit lands at s0.
+func TestRetryResolvesPendingCommit(t *testing.T) {
+	d := ptest.Deploy(t, eiger.New(), ptest.Expect{}, 103)
+	d.Invoke("c0", model.NewWriteOnly(model.TxnID{},
+		model.Write{Object: "X0", Value: "n0"}, model.Write{Object: "X1", Value: "n1"}))
+	d.Kernel.StepProcess("c0")
+	// Prepare at both, acks back, commits out; deliver commit only to s1.
+	for _, s := range []sim.ProcessID{"s0", "s1"} {
+		for _, m := range d.Kernel.InTransitOn(sim.Link{From: "c0", To: s}) {
+			d.Kernel.Deliver(m.ID)
+		}
+		d.Kernel.StepProcess(s)
+	}
+	for _, s := range []sim.ProcessID{"s0", "s1"} {
+		for _, m := range d.Kernel.InTransitOn(sim.Link{From: s, To: "c0"}) {
+			d.Kernel.Deliver(m.ID)
+		}
+	}
+	d.Kernel.StepProcess("c0")
+	for _, m := range d.Kernel.InTransitOn(sim.Link{From: "c0", To: "s1"}) {
+		d.Kernel.Deliver(m.ID)
+	}
+	d.Kernel.StepProcess("s1")
+
+	// Run the ROT with the commit to s0 frozen: round 1 observes new X1
+	// and old X0 with a pending marker, so the client must keep retrying
+	// instead of returning the mixed pair.
+	rotID := d.Invoke("r0", model.NewReadOnly(model.TxnID{}, "X0", "X1"))
+	frozen := &sim.RoundRobin{Only: sim.Restrict("r0", "s0", "s1")}
+	sim.Run(d.Kernel, frozen, func(*sim.Kernel) bool { return !d.Client("r0").Busy() }, 300)
+	if !d.Client("r0").Busy() {
+		res := d.Client("r0").Results()[rotID]
+		v0, v1 := res.Value("X0"), res.Value("X1")
+		if (v0 == "n0") != (v1 == "n1") {
+			t.Fatalf("mixed read escaped the retry protocol: %v", res.Values)
+		}
+	}
+
+	// Release the commit; the ROT must now complete consistently and the
+	// retry rounds must be visible.
+	for _, m := range d.Kernel.InTransitOn(sim.Link{From: "c0", To: "s0"}) {
+		d.Kernel.Deliver(m.ID)
+	}
+	sim.Run(d.Kernel, &sim.RoundRobin{}, func(*sim.Kernel) bool { return !d.Client("r0").Busy() }, 400_000)
+	res := d.Client("r0").Results()[rotID]
+	if res == nil || !res.OK() {
+		t.Fatalf("ROT failed: %v", res)
+	}
+	v0, v1 := res.Value("X0"), res.Value("X1")
+	if (v0 == "n0") != (v1 == "n1") {
+		t.Fatalf("mixed read escaped the retry protocol: %v", res.Values)
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("saw pending-affected snapshot without retrying: rounds=%d values=%v", res.Rounds, res.Values)
+	}
+}
+
+func TestWriteIsTwoPhase(t *testing.T) {
+	d := ptest.Deploy(t, eiger.New(), ptest.Expect{}, 107)
+	res := d.RunTxn("c0", model.NewWriteOnly(model.TxnID{},
+		model.Write{Object: "X0", Value: "w0"}, model.Write{Object: "X1", Value: "w1"}), 400_000)
+	if !res.OK() || res.Rounds != 2 {
+		t.Fatalf("write rounds = %d, want 2", res.Rounds)
+	}
+}

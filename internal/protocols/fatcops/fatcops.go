@@ -1,0 +1,372 @@
+// Package fatcops implements the N+O+W design sketched in §3.4 of the
+// paper: one-round, non-blocking read-only transactions that coexist with
+// multi-object write transactions and causal consistency — at the price of
+// the one-value property. Every write carries (a) the values of the other
+// objects written by the same transaction and (b) the values of all the
+// objects the transaction causally depends on; servers store this fat
+// metadata alongside the version and return all of it to readers, who then
+// locally select, per object, the newest value they can prove consistent.
+//
+// The responses therefore carry values for objects the answering server
+// does not even store — a direct violation of the (general) one-value
+// property, which is exactly the trade the paper describes: "this protocol
+// is not efficient, as it requires to store and communicate a
+// prohibitively big amount of data".
+package fatcops
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/vclock"
+)
+
+// Protocol is the fatcops factory.
+type Protocol struct{}
+
+// New returns the protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements protocol.Protocol.
+func (*Protocol) Name() string { return "fatcops" }
+
+// Claims implements protocol.Protocol: one round, non-blocking,
+// multi-writes — but NOT one-value.
+func (*Protocol) Claims() protocol.Claims {
+	return protocol.Claims{
+		OneRound:      true,
+		OneValue:      false,
+		NonBlocking:   true,
+		MultiWriteTxn: true,
+		Consistency:   "causal",
+	}
+}
+
+// NewServer implements protocol.Protocol.
+func (*Protocol) NewServer(id sim.ProcessID, pl *protocol.Placement) sim.Process {
+	return &server{id: id, pl: pl, st: store.New(pl.HostedBy(id)...)}
+}
+
+// NewClient implements protocol.Protocol.
+func (*Protocol) NewClient(id sim.ProcessID, pl *protocol.Placement) protocol.Client {
+	// Initializing clients stamp their writes at 1; every other client
+	// boots its clock at 1 so even a blind first write is stamped 2 and
+	// strictly dominates the initial values.
+	clock := int64(1)
+	if protocol.IsInitClient(id) {
+		clock = 0
+	}
+	return &client{Core: protocol.NewCore(id, pl), clock: clock, ctx: make(map[string]stamped)}
+}
+
+// stamped is a value with its Lamport timestamp and writer.
+type stamped struct {
+	Val    model.Value
+	Writer model.TxnID
+	TS     int64
+}
+
+// after reports whether version (ts1, w1) follows (ts2, w2) in the global
+// version order: Lamport timestamp first, writer ID as a tie-break. Every
+// comparison in the protocol — server-side "latest" selection and
+// client-side reconciliation alike — uses this one order, which is what
+// makes the fat-metadata repair sound: all parties agree on which of two
+// concurrent transactions is "newer".
+func after(ts1 int64, w1 model.TxnID, ts2 int64, w2 model.TxnID) bool {
+	if ts1 != ts2 {
+		return ts1 > ts2
+	}
+	return w1.String() > w2.String()
+}
+
+// --- payloads ---
+
+type readReq struct {
+	TID  model.TxnID
+	Objs []string
+}
+
+func (p *readReq) Kind() string               { return "read-req" }
+func (p *readReq) Clone() sim.Payload         { c := *p; c.Objs = append([]string(nil), p.Objs...); return &c }
+func (p *readReq) Txn() model.TxnID           { return p.TID }
+func (p *readReq) PayloadRole() protocol.Role { return protocol.RoleReadReq }
+
+// fatEntry is one object's candidate value in a fat response.
+type fatEntry struct {
+	Object string
+	Val    model.Value
+	Writer model.TxnID
+	TS     int64
+}
+
+type readResp struct {
+	TID     model.TxnID
+	Entries []fatEntry // direct values plus sibling/dependency values
+}
+
+func (p *readResp) Kind() string { return "fat-read-resp" }
+func (p *readResp) Clone() sim.Payload {
+	c := *p
+	c.Entries = append([]fatEntry(nil), p.Entries...)
+	return &c
+}
+func (p *readResp) Txn() model.TxnID           { return p.TID }
+func (p *readResp) PayloadRole() protocol.Role { return protocol.RoleReadResp }
+func (p *readResp) CarriedValues() []model.ValueRef {
+	out := make([]model.ValueRef, 0, len(p.Entries))
+	for _, e := range p.Entries {
+		if e.Val == model.Bottom {
+			continue
+		}
+		out = append(out, model.ValueRef{Object: e.Object, Value: e.Val, Writer: e.Writer})
+	}
+	return out
+}
+
+type writeReq struct {
+	TID    model.TxnID
+	TS     int64
+	Writes []model.Write // writes for objects hosted at the destination
+	// Siblings are the transaction's writes to other objects; DepVals are
+	// the causally depended-on values — both shipped and stored whole.
+	Siblings []fatEntry
+	DepVals  []fatEntry
+}
+
+func (p *writeReq) Kind() string { return "fat-write-req" }
+func (p *writeReq) Clone() sim.Payload {
+	c := *p
+	c.Writes = append([]model.Write(nil), p.Writes...)
+	c.Siblings = append([]fatEntry(nil), p.Siblings...)
+	c.DepVals = append([]fatEntry(nil), p.DepVals...)
+	return &c
+}
+func (p *writeReq) Txn() model.TxnID           { return p.TID }
+func (p *writeReq) PayloadRole() protocol.Role { return protocol.RoleWriteReq }
+
+type writeResp struct {
+	TID model.TxnID
+}
+
+func (p *writeResp) Kind() string               { return "fat-write-ack" }
+func (p *writeResp) Clone() sim.Payload         { c := *p; return &c }
+func (p *writeResp) Txn() model.TxnID           { return p.TID }
+func (p *writeResp) PayloadRole() protocol.Role { return protocol.RoleWriteResp }
+
+// --- server ---
+
+type server struct {
+	id sim.ProcessID
+	pl *protocol.Placement
+	st *store.Store
+	// meta holds the fat metadata per (object, writer) as flat entries.
+	meta map[string][]fatEntry
+}
+
+func (s *server) ID() sim.ProcessID { return s.id }
+func (s *server) Ready() bool       { return false }
+
+func metaKey(obj string, w model.TxnID) string { return obj + "\x00" + w.String() }
+
+func (s *server) Clone() sim.Process {
+	c := &server{id: s.id, pl: s.pl, st: s.st.Clone(), meta: make(map[string][]fatEntry, len(s.meta))}
+	for k, v := range s.meta {
+		c.meta[k] = append([]fatEntry(nil), v...)
+	}
+	return c
+}
+
+func (s *server) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
+	if s.meta == nil {
+		s.meta = make(map[string][]fatEntry)
+	}
+	var out []sim.Outbound
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case *readReq:
+			resp := &readResp{TID: p.TID}
+			for _, obj := range p.Objs {
+				var v *store.Version
+				for _, cand := range s.st.Versions(obj) {
+					if !cand.Visible {
+						continue
+					}
+					if v == nil || after(cand.Stamp.Wall, cand.Writer, v.Stamp.Wall, v.Writer) {
+						v = cand
+					}
+				}
+				if v == nil {
+					resp.Entries = append(resp.Entries, fatEntry{Object: obj, Val: model.Bottom})
+					continue
+				}
+				resp.Entries = append(resp.Entries, fatEntry{Object: obj, Val: v.Value, Writer: v.Writer, TS: v.Stamp.Wall})
+				// Attach the stored fat metadata (siblings + dep values).
+				resp.Entries = append(resp.Entries, s.meta[metaKey(obj, v.Writer)]...)
+			}
+			out = append(out, sim.Outbound{To: m.From, Payload: resp})
+		case *writeReq:
+			for _, w := range p.Writes {
+				s.st.Install(&store.Version{
+					Object: w.Object, Value: w.Value, Writer: p.TID,
+					Visible: true, Stamp: vclock.HLCStamp{Wall: p.TS},
+				})
+				var extras []fatEntry
+				extras = append(extras, p.Siblings...)
+				extras = append(extras, p.DepVals...)
+				s.meta[metaKey(w.Object, p.TID)] = extras
+			}
+			out = append(out, sim.Outbound{To: m.From, Payload: &writeResp{TID: p.TID}})
+		default:
+			panic(fmt.Sprintf("fatcops: server %s got %T", s.id, m.Payload))
+		}
+	}
+	return out
+}
+
+// --- client ---
+
+type client struct {
+	protocol.Core
+	clock   int64
+	ctx     map[string]stamped // causal context: newest observed value per object
+	pending int
+}
+
+func (c *client) Clone() sim.Process {
+	cp := &client{Core: c.CloneCore(), clock: c.clock, pending: c.pending, ctx: make(map[string]stamped, len(c.ctx))}
+	for k, v := range c.ctx {
+		cp.ctx[k] = v
+	}
+	return cp
+}
+
+func (c *client) Ready() bool { return c.Busy() && !c.Started() }
+
+// observe merges a candidate value into the causal context (the global
+// version order decides which value wins).
+func (c *client) observe(e fatEntry) {
+	cur, exists := c.ctx[e.Object]
+	if !exists || after(e.TS, e.Writer, cur.TS, cur.Writer) {
+		c.ctx[e.Object] = stamped{Val: e.Val, Writer: e.Writer, TS: e.TS}
+	}
+	if e.TS > c.clock {
+		c.clock = e.TS
+	}
+}
+
+func (c *client) ctxEntries() []fatEntry {
+	objs := make([]string, 0, len(c.ctx))
+	for o := range c.ctx {
+		objs = append(objs, o)
+	}
+	sort.Strings(objs)
+	out := make([]fatEntry, 0, len(objs))
+	for _, o := range objs {
+		s := c.ctx[o]
+		out = append(out, fatEntry{Object: o, Val: s.Val, Writer: s.Writer, TS: s.TS})
+	}
+	return out
+}
+
+func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
+	var out []sim.Outbound
+	for _, m := range inbox {
+		if !c.Busy() {
+			continue
+		}
+		switch p := m.Payload.(type) {
+		case *readResp:
+			if p.TID == c.Current().ID {
+				for _, e := range p.Entries {
+					if e.Val != model.Bottom {
+						c.observe(e)
+					}
+				}
+				c.pending--
+			}
+		case *writeResp:
+			if p.TID == c.Current().ID {
+				c.pending--
+			}
+		}
+	}
+	if c.Starting(now) {
+		t := c.Current()
+		pl := c.Placement()
+		if len(t.Writes) > 0 && len(t.ReadSet) > 0 {
+			c.Reject(now, "fatcops: read-write transactions unsupported")
+			return out
+		}
+		if t.IsReadOnly() {
+			readsBy := make(map[sim.ProcessID][]string)
+			for _, obj := range t.ReadSet {
+				p := pl.PrimaryOf(obj)
+				readsBy[p] = append(readsBy[p], obj)
+			}
+			for _, srv := range pl.Servers() {
+				if objs, okR := readsBy[srv]; okR {
+					out = append(out, sim.Outbound{To: srv, Payload: &readReq{TID: t.ID, Objs: objs}})
+					c.pending++
+				}
+			}
+		} else {
+			c.clock++
+			ts := c.clock
+			deps := c.ctxEntries()
+			var siblings []fatEntry
+			for _, w := range t.Writes {
+				siblings = append(siblings, fatEntry{Object: w.Object, Val: w.Value, Writer: t.ID, TS: ts})
+			}
+			writesBy := make(map[sim.ProcessID][]model.Write)
+			for _, w := range t.Writes {
+				for _, srv := range pl.ReplicasOf(w.Object) {
+					writesBy[srv] = append(writesBy[srv], w)
+				}
+			}
+			for _, srv := range pl.Servers() {
+				ws, involved := writesBy[srv]
+				if !involved {
+					continue
+				}
+				// Siblings shipped to each server exclude its own writes.
+				var sib []fatEntry
+				for _, e := range siblings {
+					if !pl.Hosts(srv, e.Object) {
+						sib = append(sib, e)
+					}
+				}
+				out = append(out, sim.Outbound{To: srv, Payload: &writeReq{
+					TID: t.ID, TS: ts, Writes: ws, Siblings: sib, DepVals: deps,
+				}})
+				c.pending++
+			}
+		}
+		c.SentRound()
+		return out
+	}
+	if c.Busy() && c.Started() && c.pending == 0 {
+		t := c.Current()
+		if t.IsReadOnly() {
+			// Reconcile: the causal context now holds, per object, the
+			// newest value any response (directly or via fat metadata)
+			// established; report those for the read set.
+			for _, obj := range t.ReadSet {
+				if s, exists := c.ctx[obj]; exists {
+					c.Result().Values[obj] = s.Val
+				} else {
+					c.Result().Values[obj] = model.Bottom
+				}
+			}
+		} else {
+			for _, w := range t.Writes {
+				c.observe(fatEntry{Object: w.Object, Val: w.Value, Writer: t.ID, TS: c.clock})
+			}
+		}
+		c.Finish(now)
+	}
+	return out
+}

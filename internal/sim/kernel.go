@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LatencyModel samples the network latency for a message on a link.
+type LatencyModel func(l Link, rng *RNG) Time
+
+// UniformLatency returns a model sampling uniformly from [lo, hi].
+func UniformLatency(lo, hi Time) LatencyModel {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return func(_ Link, rng *RNG) Time {
+		if hi == lo {
+			return lo
+		}
+		return lo + Time(rng.Int63n(int64(hi-lo+1)))
+	}
+}
+
+// ConstantLatency returns a model with a fixed per-message latency.
+func ConstantLatency(d Time) Time { return d }
+
+// StepCost is the virtual time consumed by one computation step.
+const StepCost Time = 1
+
+// Kernel holds a configuration of the system: every process's state plus
+// the contents of all income and outcome buffers. It is the executable
+// counterpart of a "configuration" in the paper; Snapshot produces the
+// deep copies the proof's indistinguishability arguments manipulate.
+type Kernel struct {
+	now     Time
+	procs   map[ProcessID]Process
+	order   []ProcessID // sorted IDs, for deterministic iteration
+	transit []*Message  // outcome buffers: sent, not yet delivered (send order)
+	inbox   map[ProcessID][]*Message
+	nextID  int64
+	linkSeq map[Link]int64
+	rng     *RNG
+	latency LatencyModel
+	trace   *Trace
+	// sent is a registry of every payload ever sent, by message ID, used
+	// by trace analysis (spec measurements). Payloads are immutable after
+	// send by convention, so snapshots share the registry entries.
+	sent map[int64]Payload
+}
+
+// NewKernel creates an empty configuration. Latency defaults to a uniform
+// [500µs, 1500µs] model when lat is nil.
+func NewKernel(seed int64, lat LatencyModel) *Kernel {
+	if lat == nil {
+		lat = UniformLatency(500, 1500)
+	}
+	return &Kernel{
+		procs:   make(map[ProcessID]Process),
+		inbox:   make(map[ProcessID][]*Message),
+		linkSeq: make(map[Link]int64),
+		rng:     NewRNG(seed),
+		latency: lat,
+		trace:   &Trace{},
+		sent:    make(map[int64]Payload),
+	}
+}
+
+// Add registers a process. It panics on duplicate IDs.
+func (k *Kernel) Add(p Process) {
+	id := p.ID()
+	if _, dup := k.procs[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate process %s", id))
+	}
+	k.procs[id] = p
+	k.order = append(k.order, id)
+	sort.Slice(k.order, func(i, j int) bool { return k.order[i] < k.order[j] })
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Trace returns the execution trace.
+func (k *Kernel) Trace() *Trace { return k.trace }
+
+// Process returns the registered process with the given ID, or nil.
+func (k *Kernel) Process(id ProcessID) Process { return k.procs[id] }
+
+// Processes returns all process IDs in sorted order.
+func (k *Kernel) Processes() []ProcessID {
+	out := make([]ProcessID, len(k.order))
+	copy(out, k.order)
+	return out
+}
+
+// InTransit returns the messages currently in outcome buffers, in send
+// order. The returned slice is a copy; the messages are not.
+func (k *Kernel) InTransit() []*Message {
+	out := make([]*Message, len(k.transit))
+	copy(out, k.transit)
+	return out
+}
+
+// InTransitOn returns in-transit messages on the given link, oldest first.
+func (k *Kernel) InTransitOn(l Link) []*Message {
+	var out []*Message
+	for _, m := range k.transit {
+		if m.From == l.From && m.To == l.To {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FindInTransit locates an in-transit message by link and sequence number.
+func (k *Kernel) FindInTransit(l Link, seq int64) *Message {
+	for _, m := range k.transit {
+		if m.From == l.From && m.To == l.To && m.LinkSeq == seq {
+			return m
+		}
+	}
+	return nil
+}
+
+// Inbox returns the messages delivered to pid but not yet consumed.
+func (k *Kernel) Inbox(pid ProcessID) []*Message {
+	out := make([]*Message, len(k.inbox[pid]))
+	copy(out, k.inbox[pid])
+	return out
+}
+
+// Quiescent reports whether no message is in transit or awaiting
+// consumption and no process is Ready. It corresponds to the paper's
+// quiescent configurations once all invoked transactions have completed.
+func (k *Kernel) Quiescent() bool {
+	if len(k.transit) > 0 {
+		return false
+	}
+	for _, id := range k.order {
+		if len(k.inbox[id]) > 0 || k.procs[id].Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// Deliver moves the identified in-transit message into the destination's
+// income buffer. Virtual time advances to at least the message's ReadyAt.
+// It panics if the message is not in transit (scheduler bug).
+func (k *Kernel) Deliver(msgID int64) *Message {
+	for i, m := range k.transit {
+		if m.ID == msgID {
+			k.transit = append(k.transit[:i], k.transit[i+1:]...)
+			if m.ReadyAt > k.now {
+				k.now = m.ReadyAt
+			}
+			m.DeliveredAt = k.now
+			k.inbox[m.To] = append(k.inbox[m.To], m)
+			k.record(Event{
+				Kind: EvDeliver,
+				Msgs: []MsgRef{refOf(m)},
+			})
+			return m
+		}
+	}
+	panic(fmt.Sprintf("sim: Deliver(%d): message not in transit", msgID))
+}
+
+// StepProcess executes one computation step of pid: the process consumes
+// its entire income buffer and may send messages. Returns the sent
+// messages. It panics on unknown processes.
+func (k *Kernel) StepProcess(pid ProcessID) []*Message {
+	p, ok := k.procs[pid]
+	if !ok {
+		panic(fmt.Sprintf("sim: StepProcess(%s): unknown process", pid))
+	}
+	in := k.inbox[pid]
+	k.inbox[pid] = nil
+	k.now += StepCost
+
+	outs := p.Step(k.now, in)
+	sent := make([]*Message, 0, len(outs))
+	for _, o := range outs {
+		if _, ok := k.procs[o.To]; !ok {
+			panic(fmt.Sprintf("sim: %s sent to unknown process %s", pid, o.To))
+		}
+		l := Link{From: pid, To: o.To}
+		k.nextID++
+		k.linkSeq[l]++
+		m := &Message{
+			ID:      k.nextID,
+			From:    pid,
+			To:      o.To,
+			LinkSeq: k.linkSeq[l],
+			Payload: o.Payload,
+			SentAt:  k.now,
+		}
+		m.ReadyAt = k.now + k.latency(l, k.rng)
+		k.transit = append(k.transit, m)
+		k.sent[m.ID] = m.Payload
+		sent = append(sent, m)
+	}
+
+	ev := Event{Kind: EvStep, Proc: pid}
+	for _, m := range in {
+		ev.Consumed = append(ev.Consumed, refOf(m))
+	}
+	for _, m := range sent {
+		ev.Sent = append(ev.Sent, refOf(m))
+	}
+	k.record(ev)
+	return sent
+}
+
+// Annotate appends an annotation event (invoke/response/mark) to the trace.
+func (k *Kernel) Annotate(kind EventKind, pid ProcessID, note string) {
+	k.record(Event{Kind: kind, Proc: pid, Note: note})
+}
+
+func (k *Kernel) record(ev Event) {
+	ev.Seq = int64(len(k.trace.Events))
+	ev.At = k.now
+	k.trace.Events = append(k.trace.Events, ev)
+}
+
+func refOf(m *Message) MsgRef {
+	return MsgRef{ID: m.ID, Link: Link{From: m.From, To: m.To}, LinkSeq: m.LinkSeq, Kind: m.Payload.Kind()}
+}
+
+// PayloadOf returns the payload of any message ever sent in this kernel
+// (or its snapshot ancestors), by message ID. Returns nil if unknown.
+func (k *Kernel) PayloadOf(id int64) Payload { return k.sent[id] }
+
+// Snapshot returns a deep copy of the configuration: process states, all
+// buffers, RNG state, link sequence counters and the trace so far. The
+// copy's future evolution is completely independent of the original's.
+func (k *Kernel) Snapshot() *Kernel {
+	c := &Kernel{
+		now:     k.now,
+		procs:   make(map[ProcessID]Process, len(k.procs)),
+		order:   append([]ProcessID(nil), k.order...),
+		inbox:   make(map[ProcessID][]*Message, len(k.inbox)),
+		nextID:  k.nextID,
+		linkSeq: make(map[Link]int64, len(k.linkSeq)),
+		rng:     k.rng.Clone(),
+		latency: k.latency,
+		trace:   k.trace.clone(),
+		sent:    make(map[int64]Payload, len(k.sent)),
+	}
+	for id, p := range k.sent {
+		c.sent[id] = p
+	}
+	for id, p := range k.procs {
+		c.procs[id] = p.Clone()
+	}
+	c.transit = make([]*Message, len(k.transit))
+	for i, m := range k.transit {
+		c.transit[i] = m.clone()
+	}
+	for id, msgs := range k.inbox {
+		if len(msgs) == 0 {
+			continue
+		}
+		cp := make([]*Message, len(msgs))
+		for i, m := range msgs {
+			cp[i] = m.clone()
+		}
+		c.inbox[id] = cp
+	}
+	for l, s := range k.linkSeq {
+		c.linkSeq[l] = s
+	}
+	return c
+}
+
+// DropInTransit removes (loses) an in-transit message. The paper's links
+// are reliable, so the adversary never uses this; it exists only for
+// failure-injection tests, which verify the checkers catch the resulting
+// anomalies.
+func (k *Kernel) DropInTransit(msgID int64) bool {
+	for i, m := range k.transit {
+		if m.ID == msgID {
+			k.transit = append(k.transit[:i], k.transit[i+1:]...)
+			k.Annotate(EvMark, m.From, fmt.Sprintf("dropped %s", m))
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package sim
+
+// RNG is a small, cloneable pseudo-random generator (splitmix64 core with an
+// xorshift output mix). The standard library's math/rand generators cannot
+// be deep-copied, which configuration snapshots require, so the kernel uses
+// this instead. Quality is more than sufficient for latency sampling and
+// randomized schedules.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{state: uint64(seed)}
+	// Avoid the all-zero state and decorrelate small seeds.
+	r.state += 0x9e3779b97f4a7c15
+	r.Uint64()
+	return r
+}
+
+// Clone returns an independent copy that will produce the same sequence.
+func (r *RNG) Clone() *RNG { c := *r; return &c }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a pseudo-random int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,275 @@
+package sim
+
+import "sort"
+
+// ActionKind classifies scheduler decisions.
+type ActionKind uint8
+
+// Scheduler action kinds.
+const (
+	ActDeliver ActionKind = iota
+	ActStep
+)
+
+// Action is a single scheduling decision: deliver a specific message or
+// step a specific process.
+type Action struct {
+	Kind ActionKind
+	Msg  int64     // for ActDeliver
+	Proc ProcessID // for ActStep
+}
+
+// Scheduler decides the next event of an execution; it is the adversary of
+// the paper's model. Next returns false to stop the run.
+type Scheduler interface {
+	Next(k *Kernel) (Action, bool)
+}
+
+// Apply executes one action against the kernel.
+func Apply(k *Kernel, a Action) {
+	switch a.Kind {
+	case ActDeliver:
+		k.Deliver(a.Msg)
+	case ActStep:
+		k.StepProcess(a.Proc)
+	}
+}
+
+// Run drives the kernel with sched until the scheduler stops, the optional
+// stop predicate returns true, or maxEvents events have executed. It
+// returns the number of events executed.
+func Run(k *Kernel, sched Scheduler, stop func(*Kernel) bool, maxEvents int) int {
+	n := 0
+	for n < maxEvents {
+		if stop != nil && stop(k) {
+			return n
+		}
+		a, ok := sched.Next(k)
+		if !ok {
+			return n
+		}
+		Apply(k, a)
+		n++
+	}
+	return n
+}
+
+// Restriction limits which processes may act. A nil Restriction allows
+// everything. It implements the paper's "executes solo" runs: only the
+// writing client and the servers take steps, and only messages between
+// allowed processes are delivered.
+type Restriction struct {
+	allowed map[ProcessID]bool
+	// deliverFrom lists extra processes whose already-sent messages may
+	// still be delivered even though the processes themselves are frozen
+	// (delivering an old message is a delivery event, not a step of the
+	// sender — Definition 2 executions may include such deliveries).
+	deliverFrom map[ProcessID]bool
+}
+
+// Restrict builds a Restriction allowing only the listed processes.
+func Restrict(ids ...ProcessID) *Restriction {
+	r := &Restriction{allowed: make(map[ProcessID]bool, len(ids))}
+	for _, id := range ids {
+		r.allowed[id] = true
+	}
+	return r
+}
+
+// AllowDeliveriesFrom additionally permits delivering in-transit messages
+// sent by the listed (otherwise frozen) processes. Returns r for chaining.
+func (r *Restriction) AllowDeliveriesFrom(ids ...ProcessID) *Restriction {
+	if r.deliverFrom == nil {
+		r.deliverFrom = make(map[ProcessID]bool, len(ids))
+	}
+	for _, id := range ids {
+		r.deliverFrom[id] = true
+	}
+	return r
+}
+
+// AllowsProc reports whether the process may take steps.
+func (r *Restriction) AllowsProc(id ProcessID) bool {
+	return r == nil || r.allowed[id]
+}
+
+// AllowsMsg reports whether the message may be delivered. The destination
+// must be an allowed process; the source must be allowed or listed via
+// AllowDeliveriesFrom.
+func (r *Restriction) AllowsMsg(m *Message) bool {
+	return r == nil || ((r.allowed[m.From] || r.deliverFrom[m.From]) && r.allowed[m.To])
+}
+
+// enabled lists the currently enabled actions under a restriction, in a
+// deterministic order: deliveries in send order first, then steps of
+// processes with pending inboxes, then steps of Ready processes.
+func enabled(k *Kernel, r *Restriction) []Action {
+	var acts []Action
+	for _, m := range k.InTransit() {
+		if r.AllowsMsg(m) {
+			acts = append(acts, Action{Kind: ActDeliver, Msg: m.ID})
+		}
+	}
+	ids := k.Processes()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !r.AllowsProc(id) {
+			continue
+		}
+		if len(k.Inbox(id)) > 0 {
+			acts = append(acts, Action{Kind: ActStep, Proc: id})
+		}
+	}
+	for _, id := range ids {
+		if !r.AllowsProc(id) {
+			continue
+		}
+		if len(k.Inbox(id)) == 0 && k.Process(id).Ready() {
+			acts = append(acts, Action{Kind: ActStep, Proc: id})
+		}
+	}
+	return acts
+}
+
+// RoundRobin is a fair deterministic scheduler: it prefers stepping
+// processes that have pending input, then delivers the oldest in-transit
+// message, then steps Ready processes. Within a restriction it drains the
+// system to quiescence.
+type RoundRobin struct {
+	Only *Restriction
+}
+
+// Next implements Scheduler.
+func (s *RoundRobin) Next(k *Kernel) (Action, bool) {
+	ids := k.Processes()
+	for _, id := range ids {
+		if s.Only.AllowsProc(id) && len(k.Inbox(id)) > 0 {
+			return Action{Kind: ActStep, Proc: id}, true
+		}
+	}
+	for _, m := range k.InTransit() {
+		if s.Only.AllowsMsg(m) {
+			return Action{Kind: ActDeliver, Msg: m.ID}, true
+		}
+	}
+	for _, id := range ids {
+		if s.Only.AllowsProc(id) && k.Process(id).Ready() {
+			return Action{Kind: ActStep, Proc: id}, true
+		}
+	}
+	return Action{}, false
+}
+
+// Random chooses uniformly among enabled actions using its own seeded RNG,
+// modelling an arbitrary (but reproducible) asynchronous adversary.
+type Random struct {
+	Rng  *RNG
+	Only *Restriction
+}
+
+// NewRandom returns a Random scheduler with the given seed.
+func NewRandom(seed int64) *Random { return &Random{Rng: NewRNG(seed)} }
+
+// Next implements Scheduler.
+func (s *Random) Next(k *Kernel) (Action, bool) {
+	acts := enabled(k, s.Only)
+	if len(acts) == 0 {
+		return Action{}, false
+	}
+	return acts[s.Rng.Intn(len(acts))], true
+}
+
+// Network delivers messages in earliest-ReadyAt order and steps any process
+// with pending input immediately, modelling a well-behaved network for the
+// latency experiments (no adversarial reordering beyond sampled latency).
+type Network struct {
+	Only *Restriction
+}
+
+// Next implements Scheduler.
+func (s *Network) Next(k *Kernel) (Action, bool) {
+	for _, id := range k.Processes() {
+		if s.Only.AllowsProc(id) && len(k.Inbox(id)) > 0 {
+			return Action{Kind: ActStep, Proc: id}, true
+		}
+	}
+	var best *Message
+	for _, m := range k.InTransit() {
+		if !s.Only.AllowsMsg(m) {
+			continue
+		}
+		if best == nil || m.ReadyAt < best.ReadyAt || (m.ReadyAt == best.ReadyAt && m.ID < best.ID) {
+			best = m
+		}
+	}
+	if best != nil {
+		return Action{Kind: ActDeliver, Msg: best.ID}, true
+	}
+	for _, id := range k.Processes() {
+		if s.Only.AllowsProc(id) && k.Process(id).Ready() {
+			return Action{Kind: ActStep, Proc: id}, true
+		}
+	}
+	return Action{}, false
+}
+
+// Scripted replays a fixed sequence of actions, used by the adversary's
+// replay engine. Actions reference messages by (link, seq) so the script
+// survives filtered re-executions.
+type Scripted struct {
+	Steps []ScriptStep
+	pos   int
+	// Err records the first divergence (a referenced message that does
+	// not exist); the run stops there.
+	Err error
+}
+
+// ScriptStep is one scripted event.
+type ScriptStep struct {
+	Kind ActionKind
+	Proc ProcessID // for ActStep
+	Link Link      // for ActDeliver
+	Seq  int64     // for ActDeliver
+}
+
+// Next implements Scheduler.
+func (s *Scripted) Next(k *Kernel) (Action, bool) {
+	if s.Err != nil || s.pos >= len(s.Steps) {
+		return Action{}, false
+	}
+	st := s.Steps[s.pos]
+	s.pos++
+	if st.Kind == ActStep {
+		return Action{Kind: ActStep, Proc: st.Proc}, true
+	}
+	m := k.FindInTransit(st.Link, st.Seq)
+	if m == nil {
+		s.Err = &DivergenceError{Link: st.Link, Seq: st.Seq, Pos: s.pos - 1}
+		return Action{}, false
+	}
+	return Action{Kind: ActDeliver, Msg: m.ID}, true
+}
+
+// DivergenceError reports that a scripted replay referenced a message that
+// was never sent — the replayed execution diverged from the recording,
+// meaning the process behaviour was not indistinguishable.
+type DivergenceError struct {
+	Link Link
+	Seq  int64
+	Pos  int
+}
+
+func (e *DivergenceError) Error() string {
+	return "sim: replay diverged at step " + string(rune('0'+e.Pos%10)) + ": missing " + e.Link.String()
+}
+
+// DrainRestricted runs round-robin under the restriction until quiescence
+// of the allowed sub-system or maxEvents. It returns the events executed.
+func DrainRestricted(k *Kernel, r *Restriction, maxEvents int) int {
+	return Run(k, &RoundRobin{Only: r}, nil, maxEvents)
+}
+
+// Drain runs the whole system round-robin to quiescence (or maxEvents).
+func Drain(k *Kernel, maxEvents int) int {
+	return DrainRestricted(k, nil, maxEvents)
+}

@@ -1,0 +1,104 @@
+// Package sim implements the asynchronous message-passing system model of
+// Didona et al., "Distributed Transactional Systems Cannot Be Fast"
+// (SPAA 2019), Section 2.
+//
+// The system is a set of processes (clients and servers) modelled as
+// deterministic state machines, connected by reliable links. Two kinds of
+// events exist:
+//
+//   - a delivery event moves one message from the outcome buffer of its
+//     source link to the income buffer of its destination, and
+//   - a computation step makes one process consume every message currently
+//     in its income buffers, update its state, and send at most one message
+//     per neighbour.
+//
+// The order of events is controlled by a Scheduler — the adversary of the
+// paper. The kernel supports deep configuration snapshots, which the
+// adversary uses to construct the indistinguishable executions of the
+// impossibility proof (Constructions 1 and 2, and the β → β_p·β_s
+// splitting of Lemma 3).
+package sim
+
+import "fmt"
+
+// ProcessID names a process. Servers are conventionally "s0", "s1", ...;
+// clients "c0", "c1", ....
+type ProcessID string
+
+// Time is virtual time in microseconds. It only advances through delivery
+// events (per the configured latency model) and fixed per-step costs; the
+// adversary is free to ignore it, which models asynchrony.
+type Time int64
+
+// Payload is the protocol-specific content of a message. Implementations
+// must be deeply clonable so configurations can be snapshotted.
+type Payload interface {
+	// Kind returns a short label used in traces ("read-req", "commit", ...).
+	Kind() string
+	// Clone returns a deep copy of the payload.
+	Clone() Payload
+}
+
+// Message is a message either in transit (in an outcome buffer) or awaiting
+// consumption (in an income buffer).
+type Message struct {
+	// ID is unique within a kernel, assigned at send time in send order.
+	ID int64
+	// From and To identify the link the message travels on.
+	From, To ProcessID
+	// LinkSeq is the per-(From,To)-link sequence number, assigned at send
+	// time. Replays identify messages by (From, To, LinkSeq) because IDs
+	// may differ between an original run and a filtered replay.
+	LinkSeq int64
+	// Payload is the protocol content.
+	Payload Payload
+	// SentAt and ReadyAt record virtual send time and earliest network
+	// arrival time (SentAt + sampled link latency). The adversary may
+	// deliver later than ReadyAt (asynchrony) but never earlier.
+	SentAt, ReadyAt Time
+	// DeliveredAt is set when the message enters the income buffer.
+	DeliveredAt Time
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("#%d %s->%s %s (seq %d)", m.ID, m.From, m.To, m.Payload.Kind(), m.LinkSeq)
+}
+
+func (m *Message) clone() *Message {
+	c := *m
+	c.Payload = m.Payload.Clone()
+	return &c
+}
+
+// Link identifies a directed link between two processes.
+type Link struct {
+	From, To ProcessID
+}
+
+func (l Link) String() string { return string(l.From) + "->" + string(l.To) }
+
+// Outbound is a message a process wants to send during a computation step.
+type Outbound struct {
+	To      ProcessID
+	Payload Payload
+}
+
+// Process is a deterministic state machine. Implementations must not share
+// mutable state between clones and must not consult any nondeterministic
+// source (maps must be iterated in sorted order, no wall clocks, no
+// package-level randomness).
+type Process interface {
+	// ID returns the process identity.
+	ID() ProcessID
+	// Step executes one computation step. inbox contains every message in
+	// the process's income buffers, in delivery order; it may be empty (a
+	// spontaneous local step). The return value lists messages to send.
+	Step(now Time, inbox []*Message) []Outbound
+	// Ready reports whether an empty-inbox step would do useful work
+	// (e.g. a client with an invoked-but-unsent transaction, or a server
+	// with pending gossip). Schedulers use it to avoid spinning.
+	Ready() bool
+	// Clone returns a deep copy of the process for configuration
+	// snapshots.
+	Clone() Process
+}

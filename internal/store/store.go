@@ -1,0 +1,265 @@
+// Package store provides the per-server multi-version object store the
+// protocol models build on. Each object holds an append-ordered version
+// chain; versions carry the metadata the various systems need (logical
+// timestamps, dependency lists, sibling writes, reader-exclusion sets) and
+// an explicit visibility gate, which is how protocols such as COPS-SNOW or
+// Eiger keep a written-but-not-yet-stable version from being served.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/vclock"
+)
+
+// Version is one installed version of an object.
+type Version struct {
+	Object string
+	Value  model.Value
+	Writer model.TxnID
+	// Seq is the per-object install sequence number (1-based), assigned
+	// by Install.
+	Seq int64
+	// Stamp is the protocol's logical timestamp for the version (HLC or
+	// Lamport packed into an HLCStamp; zero when unused).
+	Stamp vclock.HLCStamp
+	// Vec is a vector timestamp (Cure-style; nil when unused).
+	Vec vclock.Vector
+	// Visible gates whether reads may return this version.
+	Visible bool
+	// HiddenFrom lists reader transactions that must not see this
+	// version even when visible (COPS-SNOW old-reader exclusion).
+	HiddenFrom map[model.TxnID]bool
+	// Deps lists writer transactions this version causally depends on
+	// (COPS/Eiger-style dependency metadata).
+	Deps []model.TxnID
+	// Siblings carries the other writes of the same transaction
+	// (RAMP/fat-metadata designs), keyed by object.
+	Siblings map[string]model.Value
+	// DepValues carries the values of causal dependencies (the §3.4
+	// N+O+W "fat COPS" design), keyed by object.
+	DepValues map[string]model.Value
+}
+
+// Clone returns a deep copy of the version.
+func (v *Version) Clone() *Version {
+	c := *v
+	if v.Vec != nil {
+		c.Vec = v.Vec.Clone()
+	}
+	if v.HiddenFrom != nil {
+		c.HiddenFrom = make(map[model.TxnID]bool, len(v.HiddenFrom))
+		for k, b := range v.HiddenFrom {
+			c.HiddenFrom[k] = b
+		}
+	}
+	c.Deps = append([]model.TxnID(nil), v.Deps...)
+	if v.Siblings != nil {
+		c.Siblings = make(map[string]model.Value, len(v.Siblings))
+		for k, val := range v.Siblings {
+			c.Siblings[k] = val
+		}
+	}
+	if v.DepValues != nil {
+		c.DepValues = make(map[string]model.Value, len(v.DepValues))
+		for k, val := range v.DepValues {
+			c.DepValues[k] = val
+		}
+	}
+	return &c
+}
+
+func (v *Version) String() string {
+	vis := "hidden"
+	if v.Visible {
+		vis = "visible"
+	}
+	return fmt.Sprintf("%s=%s@%d(%s,%s)", v.Object, v.Value, v.Seq, v.Writer, vis)
+}
+
+// Store is a multi-version store for the objects one server hosts.
+type Store struct {
+	objects map[string][]*Version
+}
+
+// New creates an empty store hosting the given objects.
+func New(objects ...string) *Store {
+	s := &Store{objects: make(map[string][]*Version, len(objects))}
+	for _, o := range objects {
+		s.objects[o] = nil
+	}
+	return s
+}
+
+// Objects returns the hosted object names, sorted.
+func (s *Store) Objects() []string {
+	out := make([]string, 0, len(s.objects))
+	for o := range s.objects {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hosts reports whether the store hosts obj.
+func (s *Store) Hosts(obj string) bool {
+	_, ok := s.objects[obj]
+	return ok
+}
+
+// Install appends a version to obj's chain, assigning its Seq, and returns
+// it. It panics if the store does not host obj (placement bug).
+func (s *Store) Install(v *Version) *Version {
+	chain, ok := s.objects[v.Object]
+	if !ok {
+		panic(fmt.Sprintf("store: install on unhosted object %s", v.Object))
+	}
+	v.Seq = int64(len(chain)) + 1
+	s.objects[v.Object] = append(chain, v)
+	return v
+}
+
+// Versions returns obj's version chain in install order (nil if unknown).
+func (s *Store) Versions(obj string) []*Version { return s.objects[obj] }
+
+// Find returns the version of obj written by writer, or nil.
+func (s *Store) Find(obj string, writer model.TxnID) *Version {
+	for _, v := range s.objects[obj] {
+		if v.Writer == writer {
+			return v
+		}
+	}
+	return nil
+}
+
+// MakeVisible marks the version of obj written by writer visible and
+// reports whether it was found.
+func (s *Store) MakeVisible(obj string, writer model.TxnID) bool {
+	if v := s.Find(obj, writer); v != nil {
+		v.Visible = true
+		return true
+	}
+	return false
+}
+
+// Latest returns the newest version of obj satisfying pred (nil pred
+// accepts everything), or nil if none does. "Newest" is install order,
+// which the protocols keep consistent with their timestamp order.
+func (s *Store) Latest(obj string, pred func(*Version) bool) *Version {
+	chain := s.objects[obj]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if pred == nil || pred(chain[i]) {
+			return chain[i]
+		}
+	}
+	return nil
+}
+
+// LatestVisible returns the newest visible version of obj, or nil.
+func (s *Store) LatestVisible(obj string) *Version {
+	return s.Latest(obj, func(v *Version) bool { return v.Visible })
+}
+
+// LatestVisibleFor returns the newest visible version of obj that is not
+// hidden from reader (COPS-SNOW semantics), or nil.
+func (s *Store) LatestVisibleFor(obj string, reader model.TxnID) *Version {
+	return s.Latest(obj, func(v *Version) bool {
+		return v.Visible && !v.HiddenFrom[reader]
+	})
+}
+
+// LatestVisibleAtOrBefore returns the newest visible version of obj with
+// Stamp ≤ at (snapshot reads at a stable cutoff), or nil.
+func (s *Store) LatestVisibleAtOrBefore(obj string, at vclock.HLCStamp) *Version {
+	return s.Latest(obj, func(v *Version) bool {
+		return v.Visible && !at.Before(v.Stamp)
+	})
+}
+
+// LatestVisibleVecLeq returns the newest visible version of obj whose
+// vector timestamp is ≤ the snapshot vector (Cure-style reads), or nil.
+// Versions without vectors are treated as ≤ everything.
+func (s *Store) LatestVisibleVecLeq(obj string, snap vclock.Vector) *Version {
+	return s.Latest(obj, func(v *Version) bool {
+		if !v.Visible {
+			return false
+		}
+		return v.Vec == nil || v.Vec.LessEq(snap)
+	})
+}
+
+// VersionLess is the global version order timestamp-based protocols use:
+// stamp first, writer ID as the tie-break. Using one order on servers and
+// clients alike is what keeps concurrent equal-stamp transactions from
+// being observed in different orders at different servers.
+func VersionLess(aStamp vclock.HLCStamp, aWriter model.TxnID, bStamp vclock.HLCStamp, bWriter model.TxnID) bool {
+	if c := aStamp.Compare(bStamp); c != 0 {
+		return c < 0
+	}
+	return aWriter.String() < bWriter.String()
+}
+
+// SnapshotRead returns the visible version of obj that is largest in the
+// global version order among those with Stamp ≤ at, or nil.
+func (s *Store) SnapshotRead(obj string, at vclock.HLCStamp) *Version {
+	var best *Version
+	for _, v := range s.objects[obj] {
+		if !v.Visible || at.Before(v.Stamp) {
+			continue
+		}
+		if best == nil || VersionLess(best.Stamp, best.Writer, v.Stamp, v.Writer) {
+			best = v
+		}
+	}
+	return best
+}
+
+// LatestVisibleByStamp returns the visible version of obj with the largest
+// Stamp (ties broken by install order), or nil. Protocols whose version
+// order is timestamp order (not arrival order) read through this.
+func (s *Store) LatestVisibleByStamp(obj string) *Version {
+	var best *Version
+	for _, v := range s.objects[obj] {
+		if !v.Visible {
+			continue
+		}
+		if best == nil || best.Stamp.Before(v.Stamp) ||
+			(best.Stamp.Compare(v.Stamp) == 0 && v.Seq > best.Seq) {
+			best = v
+		}
+	}
+	return best
+}
+
+// MaxVisibleStamp returns the largest Stamp among visible versions across
+// all hosted objects (zero if none), used by stabilization protocols.
+func (s *Store) MaxVisibleStamp() vclock.HLCStamp {
+	var max vclock.HLCStamp
+	for _, obj := range s.Objects() {
+		for _, v := range s.objects[obj] {
+			if v.Visible && max.Before(v.Stamp) {
+				max = v.Stamp
+			}
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	c := &Store{objects: make(map[string][]*Version, len(s.objects))}
+	for o, chain := range s.objects {
+		if chain == nil {
+			c.objects[o] = nil
+			continue
+		}
+		cp := make([]*Version, len(chain))
+		for i, v := range chain {
+			cp[i] = v.Clone()
+		}
+		c.objects[o] = cp
+	}
+	return c
+}

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/vclock"
+)
+
+func tid(c string, n int) model.TxnID { return model.TxnID{Client: c, Seq: n} }
+
+func TestInstallAssignsMonotoneSeq(t *testing.T) {
+	s := New("X")
+	for i := 1; i <= 5; i++ {
+		v := s.Install(&Version{Object: "X", Value: model.Value(fmt.Sprint(i)), Writer: tid("c", i)})
+		if v.Seq != int64(i) {
+			t.Fatalf("seq = %d, want %d", v.Seq, i)
+		}
+	}
+	if len(s.Versions("X")) != 5 {
+		t.Fatalf("chain length = %d", len(s.Versions("X")))
+	}
+}
+
+func TestInstallUnhostedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("X").Install(&Version{Object: "Y"})
+}
+
+func TestVisibilityGate(t *testing.T) {
+	s := New("X")
+	s.Install(&Version{Object: "X", Value: "old", Writer: tid("init", 0), Visible: true})
+	s.Install(&Version{Object: "X", Value: "new", Writer: tid("w", 1)})
+
+	if got := s.LatestVisible("X"); got == nil || got.Value != "old" {
+		t.Fatalf("latest visible = %v, want old", got)
+	}
+	if !s.MakeVisible("X", tid("w", 1)) {
+		t.Fatal("MakeVisible failed")
+	}
+	if got := s.LatestVisible("X"); got == nil || got.Value != "new" {
+		t.Fatalf("latest visible after gate = %v, want new", got)
+	}
+	if s.MakeVisible("X", tid("nobody", 9)) {
+		t.Fatal("MakeVisible of unknown writer succeeded")
+	}
+}
+
+func TestHiddenFromReader(t *testing.T) {
+	s := New("X")
+	s.Install(&Version{Object: "X", Value: "old", Writer: tid("init", 0), Visible: true})
+	s.Install(&Version{
+		Object: "X", Value: "new", Writer: tid("w", 1), Visible: true,
+		HiddenFrom: map[model.TxnID]bool{tid("r", 7): true},
+	})
+	if got := s.LatestVisibleFor("X", tid("r", 7)); got.Value != "old" {
+		t.Fatalf("excluded reader saw %q", got.Value)
+	}
+	if got := s.LatestVisibleFor("X", tid("r", 8)); got.Value != "new" {
+		t.Fatalf("other reader saw %q", got.Value)
+	}
+}
+
+func TestLatestAtOrBefore(t *testing.T) {
+	s := New("X")
+	for i := 1; i <= 4; i++ {
+		s.Install(&Version{
+			Object: "X", Value: model.Value(fmt.Sprint(i)), Writer: tid("c", i),
+			Stamp: vclock.HLCStamp{Wall: int64(i * 10)}, Visible: true,
+		})
+	}
+	got := s.LatestVisibleAtOrBefore("X", vclock.HLCStamp{Wall: 25})
+	if got == nil || got.Value != "2" {
+		t.Fatalf("snapshot read = %v, want 2", got)
+	}
+	got = s.LatestVisibleAtOrBefore("X", vclock.HLCStamp{Wall: 40})
+	if got == nil || got.Value != "4" {
+		t.Fatalf("snapshot read = %v, want 4", got)
+	}
+	if got = s.LatestVisibleAtOrBefore("X", vclock.HLCStamp{Wall: 5}); got != nil {
+		t.Fatalf("snapshot read before all stamps = %v, want nil", got)
+	}
+}
+
+func TestLatestVecLeq(t *testing.T) {
+	s := New("X")
+	s.Install(&Version{Object: "X", Value: "a", Writer: tid("c", 1), Visible: true, Vec: vclock.Vector{1, 0}})
+	s.Install(&Version{Object: "X", Value: "b", Writer: tid("c", 2), Visible: true, Vec: vclock.Vector{2, 3}})
+	got := s.LatestVisibleVecLeq("X", vclock.Vector{1, 5})
+	if got == nil || got.Value != "a" {
+		t.Fatalf("vec read = %v, want a", got)
+	}
+	got = s.LatestVisibleVecLeq("X", vclock.Vector{2, 3})
+	if got == nil || got.Value != "b" {
+		t.Fatalf("vec read = %v, want b", got)
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := New("X")
+	s.Install(&Version{Object: "X", Value: "a", Writer: tid("c", 1)})
+	if v := s.Find("X", tid("c", 1)); v == nil || v.Value != "a" {
+		t.Fatal("Find failed")
+	}
+	if v := s.Find("X", tid("c", 2)); v != nil {
+		t.Fatal("Find of absent writer returned a version")
+	}
+}
+
+func TestMaxVisibleStamp(t *testing.T) {
+	s := New("X", "Y")
+	s.Install(&Version{Object: "X", Value: "a", Writer: tid("c", 1), Visible: true, Stamp: vclock.HLCStamp{Wall: 5}})
+	s.Install(&Version{Object: "Y", Value: "b", Writer: tid("c", 2), Visible: true, Stamp: vclock.HLCStamp{Wall: 9}})
+	s.Install(&Version{Object: "Y", Value: "c", Writer: tid("c", 3), Visible: false, Stamp: vclock.HLCStamp{Wall: 99}})
+	if got := s.MaxVisibleStamp(); got.Wall != 9 {
+		t.Fatalf("max visible stamp = %v, want 9", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := New("X")
+	v := s.Install(&Version{
+		Object: "X", Value: "a", Writer: tid("c", 1), Visible: false,
+		HiddenFrom: map[model.TxnID]bool{tid("r", 1): true},
+		Siblings:   map[string]model.Value{"Y": "sib"},
+		DepValues:  map[string]model.Value{"Z": "dep"},
+		Deps:       []model.TxnID{tid("d", 1)},
+		Vec:        vclock.Vector{1, 2},
+	})
+	c := s.Clone()
+	cv := c.Versions("X")[0]
+	cv.Visible = true
+	cv.HiddenFrom[tid("r", 2)] = true
+	cv.Siblings["Y"] = "mut"
+	cv.Vec[0] = 99
+	cv.Deps[0] = tid("d", 2)
+
+	if v.Visible || v.HiddenFrom[tid("r", 2)] || v.Siblings["Y"] != "sib" || v.Vec[0] != 1 || v.Deps[0] != tid("d", 1) {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestObjectsSorted(t *testing.T) {
+	s := New("Z", "A", "M")
+	objs := s.Objects()
+	if len(objs) != 3 || objs[0] != "A" || objs[1] != "M" || objs[2] != "Z" {
+		t.Fatalf("objects = %v", objs)
+	}
+	if !s.Hosts("M") || s.Hosts("Q") {
+		t.Fatal("Hosts wrong")
+	}
+}
+
+// Property: LatestVisible always returns the version with the highest Seq
+// among visible versions.
+func TestLatestVisibleIsMaxSeqProperty(t *testing.T) {
+	f := func(visibles []bool) bool {
+		s := New("X")
+		var wantSeq int64
+		for i, vis := range visibles {
+			v := s.Install(&Version{Object: "X", Value: model.Value(fmt.Sprint(i)), Writer: tid("c", i), Visible: vis})
+			if vis {
+				wantSeq = v.Seq
+			}
+		}
+		got := s.LatestVisible("X")
+		if wantSeq == 0 {
+			return got == nil
+		}
+		return got != nil && got.Seq == wantSeq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

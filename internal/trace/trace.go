@@ -1,0 +1,123 @@
+// Package trace renders kernel execution traces as space-time diagrams,
+// regenerating the figures of the paper (Figure 1: Q_in → Q_0 → C_0;
+// Figure 2: Constructions 1 and 2; Figure 3: β/β_new and γ) as textual
+// lanes — one column per process, message sends and deliveries drawn as
+// labelled hops.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Render draws the events as a lane diagram: one column per process.
+func Render(events []sim.Event, procs []sim.ProcessID) string {
+	if len(procs) == 0 {
+		seen := make(map[sim.ProcessID]bool)
+		for _, ev := range events {
+			if ev.Proc != "" {
+				seen[ev.Proc] = true
+			}
+			for _, r := range ev.Msgs {
+				seen[r.Link.From] = true
+				seen[r.Link.To] = true
+			}
+		}
+		for p := range seen {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	}
+	col := make(map[sim.ProcessID]int, len(procs))
+	for i, p := range procs {
+		col[p] = i
+	}
+	const colWidth = 14
+	var b strings.Builder
+
+	// Header.
+	for _, p := range procs {
+		fmt.Fprintf(&b, "%-*s", colWidth, p)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", colWidth*len(procs)) + "\n")
+
+	line := func(pos int, text string) string {
+		if pos < 0 {
+			return text
+		}
+		pad := strings.Repeat(" ", pos*colWidth)
+		return pad + text
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case sim.EvStep:
+			c, known := col[ev.Proc]
+			if !known {
+				continue
+			}
+			label := "step"
+			if len(ev.Sent) > 0 {
+				var kinds []string
+				for _, r := range ev.Sent {
+					kinds = append(kinds, fmt.Sprintf("%s>%s", r.Kind, r.Link.To))
+				}
+				label = "send " + strings.Join(kinds, ",")
+			} else if len(ev.Consumed) > 0 {
+				label = "recv+step"
+			}
+			b.WriteString(line(c, "* "+label) + "\n")
+		case sim.EvDeliver:
+			for _, r := range ev.Msgs {
+				from, okF := col[r.Link.From]
+				to, okT := col[r.Link.To]
+				if !okF || !okT {
+					continue
+				}
+				lo, hi := from, to
+				arrow := ">"
+				if from > to {
+					lo, hi = to, from
+					arrow = "<"
+				}
+				span := (hi - lo) * colWidth
+				if span < 2 {
+					span = 2
+				}
+				wire := strings.Repeat("-", span-1) + arrow
+				if arrow == "<" {
+					wire = "<" + strings.Repeat("-", span-1)
+				}
+				b.WriteString(line(lo, wire+" "+r.Kind) + "\n")
+			}
+		case sim.EvInvoke:
+			c := col[ev.Proc]
+			b.WriteString(line(c, "! invoke "+ev.Note) + "\n")
+		case sim.EvResponse:
+			c := col[ev.Proc]
+			b.WriteString(line(c, "! done "+ev.Note) + "\n")
+		case sim.EvMark:
+			b.WriteString("== " + ev.Note + " ==\n")
+		}
+	}
+	return b.String()
+}
+
+// Summarize counts event types for quick reports.
+func Summarize(events []sim.Event) string {
+	steps, delivers, sends := 0, 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case sim.EvStep:
+			steps++
+			sends += len(ev.Sent)
+		case sim.EvDeliver:
+			delivers += len(ev.Msgs)
+		}
+	}
+	return fmt.Sprintf("%d steps, %d deliveries, %d messages sent", steps, delivers, sends)
+}

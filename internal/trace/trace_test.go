@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/protocols/naivefast"
+	"repro/internal/sim"
+)
+
+func TestRenderSetupTrace(t *testing.T) {
+	d := protocol.Deploy(naivefast.New(), protocol.Config{Servers: 2, ObjectsPerServer: 1, Clients: 2, Seed: 3})
+	if err := d.InitAll(100_000); err != nil {
+		t.Fatal(err)
+	}
+	from := d.Kernel.Trace().Len()
+	d.RunTxn("c0", model.NewReadOnly(model.TxnID{}, "X0", "X1"), 100_000)
+	events := d.Kernel.Trace().Since(from)
+
+	out := Render(events, []sim.ProcessID{"c0", "s0", "s1"})
+	for _, want := range []string{"c0", "s0", "s1", "read-req", "invoke"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAutoDetectsProcesses(t *testing.T) {
+	d := protocol.Deploy(naivefast.New(), protocol.Config{Servers: 2, ObjectsPerServer: 1, Clients: 1, Seed: 5})
+	if err := d.InitAll(100_000); err != nil {
+		t.Fatal(err)
+	}
+	out := Render(d.Kernel.Trace().Events, nil)
+	if !strings.Contains(out, "cin0") {
+		t.Fatalf("auto-detected lanes missing cin0:\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := protocol.Deploy(naivefast.New(), protocol.Config{Servers: 2, ObjectsPerServer: 1, Clients: 1, Seed: 7})
+	if err := d.InitAll(100_000); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(d.Kernel.Trace().Events)
+	if !strings.Contains(s, "steps") || !strings.Contains(s, "deliveries") {
+		t.Fatalf("summary = %q", s)
+	}
+}

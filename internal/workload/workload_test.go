@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var objs = []string{"X0", "X1", "X2", "X3"}
+
+func TestGeneratorMixFractions(t *testing.T) {
+	g := NewGenerator(Mix{ReadFraction: 0.8, ReadWidth: 2, WriteWidth: 2, ZipfS: 0.9}, objs, 42)
+	reads, writes := 0, 0
+	for i := 0; i < 1000; i++ {
+		txn := g.Next("c0")
+		if txn.IsReadOnly() {
+			reads++
+			if len(txn.ReadSet) != 2 {
+				t.Fatalf("read width = %d", len(txn.ReadSet))
+			}
+		} else {
+			writes++
+			if len(txn.WriteSet()) != 2 {
+				t.Fatalf("write width = %d", len(txn.WriteSet()))
+			}
+		}
+	}
+	frac := float64(reads) / 1000
+	if frac < 0.7 || frac > 0.9 {
+		t.Fatalf("read fraction = %.2f, want ≈0.8", frac)
+	}
+	_ = writes
+}
+
+func TestValuesAreDistinct(t *testing.T) {
+	g := NewGenerator(Balanced(), objs, 7)
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		txn := g.Next("c1")
+		for _, w := range txn.Writes {
+			key := w.Object + "=" + string(w.Value)
+			if seen[key] {
+				t.Fatalf("duplicate value %s", key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestZipfSkewPrefersLowRanks(t *testing.T) {
+	g := NewGenerator(Mix{ReadFraction: 0, WriteWidth: 1, ZipfS: 1.2}, objs, 11)
+	counts := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		txn := g.NextSingleWrite("c0")
+		counts[txn.Writes[0].Object]++
+	}
+	if counts["X0"] <= counts["X3"] {
+		t.Fatalf("zipf skew not observed: %v", counts)
+	}
+}
+
+func TestUniformWhenZipfZero(t *testing.T) {
+	g := NewGenerator(Mix{ReadFraction: 0, WriteWidth: 1, ZipfS: 0}, objs, 13)
+	counts := make(map[string]int)
+	for i := 0; i < 4000; i++ {
+		counts[g.NextSingleWrite("c0").Writes[0].Object]++
+	}
+	for _, o := range objs {
+		if counts[o] < 700 || counts[o] > 1300 {
+			t.Fatalf("uniform distribution off: %v", counts)
+		}
+	}
+}
+
+func TestWidthsClamped(t *testing.T) {
+	g := NewGenerator(Mix{ReadFraction: 1, ReadWidth: 99}, objs, 17)
+	txn := g.Next("c0")
+	if len(txn.ReadSet) != len(objs) {
+		t.Fatalf("read width not clamped: %d", len(txn.ReadSet))
+	}
+}
+
+func TestDistinctObjectsPerTxn(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewGenerator(Mix{ReadFraction: 0.5, ReadWidth: 3, WriteWidth: 3, ZipfS: 1.5}, objs, seed)
+		for i := 0; i < 20; i++ {
+			txn := g.Next("c")
+			seen := map[string]bool{}
+			for _, o := range txn.Objects() {
+				if seen[o] {
+					return false
+				}
+				seen[o] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

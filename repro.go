@@ -1,0 +1,133 @@
+// Package repro is the public facade of the reproduction of Didona et al.,
+// "Distributed Transactional Systems Cannot Be Fast" (SPAA 2019).
+//
+// It re-exports the stable entry points:
+//
+//   - Protocols / Protocol: the registry of 13 modeled storage systems
+//     (the Table 1 systems, the §3.4 corner designs and the two
+//     "impossible" victim protocols the theorem refutes);
+//   - Characterize / Table1: regenerate the paper's Table 1 from measured
+//     behaviour (rounds, values per message, blocking, write-transaction
+//     support, consistency checks);
+//   - RunTheorem: run the mechanical adversary of Theorems 1 and 2 against
+//     any protocol — it either names the property the protocol sacrifices
+//     or constructs a causal-consistency-violating execution;
+//   - MeasureLatency / LatencySweep: the latency/staleness experiments;
+//   - Deploy: build a simulated deployment for custom experiments.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/workload"
+)
+
+// Protocol is a modeled storage system.
+type Protocol = protocol.Protocol
+
+// Deployment is a protocol instantiated on a simulated kernel.
+type Deployment = protocol.Deployment
+
+// Config parameterizes a deployment.
+type Config = protocol.Config
+
+// Verdict is the outcome of the theorem adversary.
+type Verdict = adversary.Verdict
+
+// Row is a measured Table 1 row.
+type Row = core.Row
+
+// LatencyReport is the outcome of a latency experiment.
+type LatencyReport = core.LatencyReport
+
+// Mix describes a workload.
+type Mix = workload.Mix
+
+// Protocols returns the names of every modeled system.
+func Protocols() []string { return core.Names() }
+
+// Lookup returns the protocol with the given name.
+func Lookup(name string) (Protocol, error) {
+	p := core.ByName(name)
+	if p == nil {
+		return nil, fmt.Errorf("repro: unknown protocol %q (have %v)", name, core.Names())
+	}
+	return p, nil
+}
+
+// Deploy builds a deployment of the named protocol and initializes the
+// objects (the paper's Q_0).
+func Deploy(name string, cfg Config) (*Deployment, error) {
+	p, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	d := protocol.Deploy(p, cfg)
+	if err := d.InitAll(400_000); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Characterize measures one protocol's Table 1 row.
+func Characterize(name string, seeds []int64) (Row, error) {
+	p, err := Lookup(name)
+	if err != nil {
+		return Row{}, err
+	}
+	return core.Characterize(p, seeds)
+}
+
+// Table1 regenerates the paper's Table 1 (measured) for all protocols.
+func Table1(seeds []int64) (string, error) {
+	rows, err := core.Table1(seeds)
+	if err != nil {
+		return "", err
+	}
+	return core.FormatTable1(rows), nil
+}
+
+// RunTheorem runs the adversary of Theorem 1 against the named protocol.
+func RunTheorem(name string) (*Verdict, error) {
+	p, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return adversary.NewAttack(p).Run()
+}
+
+// RunTheoremPartial runs the general (Theorem 2) attack: m servers,
+// partially replicated objects.
+func RunTheoremPartial(name string, servers int) (*Verdict, error) {
+	p, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	a := adversary.NewAttack(p)
+	a.Cfg = protocol.Config{
+		Servers: servers, ObjectsPerServer: 1, Replication: 2,
+		Clients: 2, Readers: 8, Seed: 101,
+	}
+	return a.Run()
+}
+
+// MeasureLatency runs the latency experiment for one protocol.
+func MeasureLatency(name string, mix Mix, txns int, seed int64) (LatencyReport, error) {
+	p, err := Lookup(name)
+	if err != nil {
+		return LatencyReport{}, err
+	}
+	return core.MeasureLatency(p, mix, txns, seed)
+}
+
+// ReadHeavy is the canonical 95/5 workload mix.
+func ReadHeavy() Mix { return workload.ReadHeavy() }
+
+// Balanced is the 50/50 workload mix.
+func Balanced() Mix { return workload.Balanced() }

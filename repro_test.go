@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestFacadeProtocols(t *testing.T) {
+	names := Protocols()
+	if len(names) != 14 {
+		t.Fatalf("protocols = %d, want 14", len(names))
+	}
+	if _, err := Lookup("copssnow"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("bogus"); err == nil {
+		t.Fatal("Lookup of unknown protocol succeeded")
+	}
+}
+
+func TestFacadeDeployAndRun(t *testing.T) {
+	d, err := Deploy("copssnow", Config{Servers: 2, ObjectsPerServer: 1, Clients: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.RunTxn("c0", model.NewReadOnly(model.TxnID{}, "X0", "X1"), 100_000)
+	if !res.OK() || res.Rounds != 1 {
+		t.Fatalf("facade ROT = %v", res)
+	}
+}
+
+func TestFacadeTheorem(t *testing.T) {
+	v, err := RunTheorem("naivefast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sacrifices != "consistency" || v.Witness == nil {
+		t.Fatalf("verdict = %+v", v)
+	}
+	v2, err := RunTheoremPartial("naivefast", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Sacrifices != "consistency" {
+		t.Fatalf("partial verdict = %q", v2.Sacrifices)
+	}
+}
+
+func TestFacadeCharacterizeAndLatency(t *testing.T) {
+	row, err := Characterize("wren", []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Verdict.Sacrifices != "O" {
+		t.Fatalf("wren sacrifices %q", row.Verdict.Sacrifices)
+	}
+	rep, err := MeasureLatency("copssnow", ReadHeavy(), 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ROT.N == 0 || rep.Incomplete != 0 {
+		t.Fatalf("latency report = %+v", rep)
+	}
+	if rep.ROTRounds != 1 {
+		t.Fatalf("copssnow rounds = %f", rep.ROTRounds)
+	}
+}
+
+func TestFacadeTable1SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 over all protocols is slow")
+	}
+	out, err := Table1([]int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "copssnow") || !strings.Contains(out, "sacrifices") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+}
