@@ -1,0 +1,157 @@
+// Command bench runs the closed-loop concurrent load harness over a
+// protocol × mix × client-count grid and emits machine-readable JSON, one
+// summary row per cell: throughput (committed transactions per virtual
+// second), latency percentiles, abort and incompletion counts.
+//
+// Runs are fully deterministic: the same flags produce byte-identical
+// output, so the JSON can be diffed across commits to track performance
+// trajectories.
+//
+//	go run ./cmd/bench -clients 16 -txns 2000
+//	go run ./cmd/bench -protocols all -clients 1,8,32 -mixes readheavy,balanced
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// row is one grid cell of the benchmark output.
+type row struct {
+	Protocol     string  `json:"protocol"`
+	MixName      string  `json:"mix"`
+	ReadFraction float64 `json:"read_fraction"`
+	ZipfS        float64 `json:"zipf_s"`
+	Clients      int     `json:"clients"`
+	Pipeline     int     `json:"pipeline"`
+	Txns         int     `json:"txns"`
+	Committed    int     `json:"committed"`
+	Rejected     int     `json:"rejected"`
+	Incomplete   int     `json:"incomplete"`
+	Events       int     `json:"events"`
+	DurationUs   int64   `json:"duration_us"`
+	Throughput   float64 `json:"throughput_txn_per_s"`
+	LatencyP50   int64   `json:"latency_p50_us"`
+	LatencyP90   int64   `json:"latency_p90_us"`
+	LatencyP99   int64   `json:"latency_p99_us"`
+	LatencyMean  float64 `json:"latency_mean_us"`
+	ROTP50       int64   `json:"rot_p50_us"`
+	ROTP99       int64   `json:"rot_p99_us"`
+	ROTRounds    float64 `json:"rot_rounds"`
+	WriteP50     int64   `json:"write_p50_us"`
+	WriteP99     int64   `json:"write_p99_us"`
+}
+
+func mixByName(name string) (workload.Mix, error) {
+	switch name {
+	case "readheavy":
+		return workload.ReadHeavy(), nil
+	case "balanced":
+		return workload.Balanced(), nil
+	default:
+		return workload.Mix{}, fmt.Errorf("unknown mix %q (have readheavy, balanced)", name)
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	protocols := flag.String("protocols", "cops,cure,spanner",
+		"comma-separated protocol names, or 'all'")
+	clients := flag.String("clients", "16", "comma-separated concurrent client counts")
+	txns := flag.Int("txns", 2000, "transactions per grid cell")
+	mixes := flag.String("mixes", "readheavy", "comma-separated mixes (readheavy, balanced)")
+	pipeline := flag.Int("pipeline", 1, "outstanding invocations per client")
+	servers := flag.Int("servers", 2, "servers in the deployment")
+	objects := flag.Int("objects", 2, "objects per server")
+	seed := flag.Int64("seed", 42, "deterministic run seed")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	var names []string
+	if *protocols == "all" {
+		names = core.Names()
+	} else {
+		names = strings.Split(*protocols, ",")
+	}
+	counts, err := parseInts(*clients)
+	if err != nil {
+		fail(err)
+	}
+
+	var rows []row
+	for _, name := range names {
+		p := core.ByName(strings.TrimSpace(name))
+		if p == nil {
+			fail(fmt.Errorf("unknown protocol %q (have %v)", name, core.Names()))
+		}
+		for _, mixName := range strings.Split(*mixes, ",") {
+			mixName = strings.TrimSpace(mixName)
+			mix, err := mixByName(mixName)
+			if err != nil {
+				fail(err)
+			}
+			for _, c := range counts {
+				rep, err := core.MeasureThroughputWith(p, mix, c, *txns, *seed, core.ThroughputOptions{
+					Servers:          *servers,
+					ObjectsPerServer: *objects,
+					Pipeline:         *pipeline,
+				})
+				if err != nil {
+					fail(err)
+				}
+				rows = append(rows, row{
+					Protocol:     rep.Protocol,
+					MixName:      mixName,
+					ReadFraction: mix.ReadFraction,
+					ZipfS:        mix.ZipfS,
+					Clients:      rep.Clients,
+					Pipeline:     rep.Pipeline,
+					Txns:         *txns,
+					Committed:    rep.Committed,
+					Rejected:     rep.Rejected,
+					Incomplete:   rep.Incomplete,
+					Events:       rep.Events,
+					DurationUs:   int64(rep.Duration),
+					Throughput:   rep.Throughput,
+					LatencyP50:   rep.Latency.P50,
+					LatencyP90:   rep.Latency.P90,
+					LatencyP99:   rep.Latency.P99,
+					LatencyMean:  rep.Latency.Mean,
+					ROTP50:       rep.ROT.P50,
+					ROTP99:       rep.ROT.P99,
+					ROTRounds:    rep.ROTRounds,
+					WriteP50:     rep.Write.P50,
+					WriteP99:     rep.Write.P99,
+				})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fail(err)
+	}
+}

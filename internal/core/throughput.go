@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ThroughputReport is the outcome of one closed-loop throughput run (the
+// load regime the paper's introduction motivates: many concurrent clients
+// over a skewed read-heavy mix).
+type ThroughputReport struct {
+	Protocol string
+	Mix      workload.Mix
+	Clients  int
+	Pipeline int
+
+	Committed  int
+	Rejected   int
+	Incomplete int
+	Events     int
+
+	// Duration is the virtual time the run spanned; Throughput is
+	// committed transactions per virtual second.
+	Duration   sim.Time
+	Throughput float64
+	AbortRate  float64
+
+	Latency   stats.Summary
+	ROT       stats.Summary
+	Write     stats.Summary
+	ROTRounds float64
+}
+
+// ThroughputOptions scales a throughput run.
+type ThroughputOptions struct {
+	Servers          int
+	ObjectsPerServer int
+	Pipeline         int
+	Latency          sim.LatencyModel
+}
+
+// MeasureThroughput runs txns transactions of the mix over the given
+// number of concurrent closed-loop clients and reports throughput and
+// latency under load.
+func MeasureThroughput(p protocol.Protocol, mix workload.Mix, clients, txns int, seed int64) (ThroughputReport, error) {
+	return MeasureThroughputWith(p, mix, clients, txns, seed, ThroughputOptions{})
+}
+
+// MeasureThroughputWith is MeasureThroughput with explicit scaling.
+func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns int, seed int64, opt ThroughputOptions) (ThroughputReport, error) {
+	rep := ThroughputReport{Protocol: p.Name(), Mix: mix, Clients: clients}
+	load, err := driver.Run(p, driver.Config{
+		Clients:          clients,
+		Pipeline:         opt.Pipeline,
+		Txns:             txns,
+		Mix:              mix,
+		Seed:             seed,
+		Servers:          opt.Servers,
+		ObjectsPerServer: opt.ObjectsPerServer,
+		Latency:          opt.Latency,
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Pipeline = load.Pipeline
+	rep.Committed = load.Committed
+	rep.Rejected = load.Rejected
+	rep.Incomplete = load.Incomplete
+	rep.Events = load.Events
+	rep.Duration = load.Duration
+	rep.Throughput = load.Throughput
+	rep.AbortRate = load.AbortRate
+	rep.Latency = load.Latency
+	rep.ROT = load.ROT
+	rep.Write = load.Write
+	rep.ROTRounds = load.ROTRounds
+	return rep, nil
+}
+
+// ThroughputSweep measures every protocol at each client count.
+func ThroughputSweep(mix workload.Mix, clientCounts []int, txns int, seed int64) ([]ThroughputReport, error) {
+	var out []ThroughputReport
+	for _, p := range All() {
+		for _, c := range clientCounts {
+			rep, err := MeasureThroughput(p, mix, c, txns, seed)
+			if err != nil {
+				return nil, fmt.Errorf("core: throughput for %s at %d clients: %w", p.Name(), c, err)
+			}
+			out = append(out, rep)
+		}
+	}
+	return out, nil
+}
+
+// FormatThroughput renders a sweep as a table.
+func FormatThroughput(reports []ThroughputReport) string {
+	out := fmt.Sprintf("%-12s | %7s | %10s | %12s | %8s | %8s | %10s\n",
+		"System", "clients", "committed", "thr (txn/s)", "p50", "p99", "incomplete")
+	out += "--------------------------------------------------------------------------------\n"
+	for _, r := range reports {
+		out += fmt.Sprintf("%-12s | %7d | %10d | %12.1f | %8d | %8d | %10d\n",
+			r.Protocol, r.Clients, r.Committed, r.Throughput, r.Latency.P50, r.Latency.P99, r.Incomplete)
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package driver is the closed-loop concurrent load harness: it keeps N
+// protocol clients saturated with transactions from a workload generator,
+// records per-transaction latency, computes throughput (committed
+// transactions per virtual second) and abort/incompletion rates, and can
+// collect the completed operations into a history for consistency
+// certification of concurrent executions.
+//
+// This is the execution mode the paper's motivation describes — many
+// concurrent clients over a skewed read-heavy mix — as opposed to the
+// one-transaction-at-a-time lockstep the proof machinery uses. Each client
+// runs closed-loop: it has up to Pipeline invocations outstanding and
+// submits a new transaction as soon as one completes. The run is fully
+// deterministic: the same protocol, configuration and seed produce the
+// same events, the same latencies and the same history.
+//
+// Load runs default to the kernel's load mode (tracing and payload
+// retention disabled) so memory stays flat over millions of events; set
+// KeepTrace to retain the full trace for debugging.
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// Clients is the number of concurrent closed-loop clients (default 2).
+	Clients int
+	// Pipeline is the maximum outstanding invocations per client
+	// (default 1: classic closed loop; higher values pipeline into the
+	// per-client invocation queue).
+	Pipeline int
+	// Txns is the total number of transactions across all clients
+	// (default 100), distributed round-robin.
+	Txns int
+	// Mix is the workload (zero value: workload defaults).
+	Mix workload.Mix
+	// Seed derives the kernel RNG and all per-client generator streams.
+	Seed int64
+	// Servers, ObjectsPerServer, Replication and Latency size the
+	// deployment (protocol.Config semantics; zero values use its
+	// defaults).
+	Servers          int
+	ObjectsPerServer int
+	Replication      int
+	Latency          sim.LatencyModel
+	// MaxEvents bounds kernel events for the whole run (default
+	// 20_000·Txns + 200_000 — generous because blocking protocols such as
+	// spanner advance their safe time by spinning 1µs steps while a read
+	// is parked, which can cost thousands of events per transaction at
+	// low client counts).
+	MaxEvents int
+	// RecordHistory collects completed transactions into Report.History
+	// for consistency checking. Keep Txns small (≤ ~60) when set: the
+	// exact checkers are exponential.
+	RecordHistory bool
+	// KeepTrace retains the full kernel trace and payload registry
+	// instead of running in load mode.
+	KeepTrace bool
+}
+
+func (c *Config) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 2
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.Txns <= 0 {
+		c.Txns = 100
+	}
+	if c.Servers <= 0 {
+		c.Servers = 2
+	}
+	if c.ObjectsPerServer <= 0 {
+		c.ObjectsPerServer = 2
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 20_000*c.Txns + 200_000
+	}
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Protocol string
+	Clients  int
+	Pipeline int
+
+	// Issued counts invoked transactions; Committed the ones that
+	// completed without error; Rejected the ones the protocol refused
+	// (unsupported shapes); Incomplete the ones still unfinished when the
+	// run ended (0 on a healthy run).
+	Issued     int
+	Committed  int
+	Rejected   int
+	Incomplete int
+
+	// Events is the number of kernel events executed (excluding
+	// initialization); Duration the virtual time the measured phase
+	// spanned.
+	Events   int
+	Duration sim.Time
+
+	// Throughput is committed transactions per virtual second.
+	Throughput float64
+	// AbortRate is Rejected/Issued.
+	AbortRate float64
+
+	// Latency summarizes committed-transaction latency (virtual µs),
+	// split by transaction class, plus mean read-round count.
+	Latency   stats.Summary
+	ROT       stats.Summary
+	Write     stats.Summary
+	ROTRounds float64
+
+	// History holds the completed operations when Config.RecordHistory
+	// was set (nil otherwise), with the deployment's initial values, ready
+	// for history.Check*.
+	History *history.History
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("%-12s clients=%d committed=%d/%d thr=%.1f txn/s p50=%d p99=%d",
+		r.Protocol, r.Clients, r.Committed, r.Issued, r.Throughput, r.Latency.P50, r.Latency.P99)
+}
+
+// Run deploys p and drives a closed-loop load run per cfg.
+func Run(p protocol.Protocol, cfg Config) (*Report, error) {
+	cfg.defaults()
+	d := protocol.Deploy(p, protocol.Config{
+		Servers:          cfg.Servers,
+		ObjectsPerServer: cfg.ObjectsPerServer,
+		Replication:      cfg.Replication,
+		Clients:          cfg.Clients,
+		Seed:             cfg.Seed,
+		Latency:          cfg.Latency,
+	})
+	if !cfg.KeepTrace {
+		d.Kernel.SetTraceCap(-1)
+		d.Kernel.SetPayloadRetention(false)
+	}
+	if err := d.InitAll(400_000); err != nil {
+		return nil, fmt.Errorf("driver: %s init: %w", p.Name(), err)
+	}
+	return RunOn(d, cfg)
+}
+
+// RunOn drives a closed-loop load run against an existing, initialized
+// deployment. The deployment must have at least cfg.Clients workload
+// clients.
+func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
+	cfg.defaults()
+	if len(d.Clients) < cfg.Clients {
+		return nil, fmt.Errorf("driver: deployment has %d clients, need %d", len(d.Clients), cfg.Clients)
+	}
+	rep := &Report{Protocol: d.Proto.Name(), Clients: cfg.Clients, Pipeline: cfg.Pipeline}
+	multiWrite := d.Proto.Claims().MultiWriteTxn
+	objects := d.Place.Objects()
+
+	// Independent deterministic generator stream per client, so the
+	// workload each client submits does not depend on scheduling.
+	cls := make([]protocol.Client, cfg.Clients)
+	gens := make([]*workload.Generator, cfg.Clients)
+	quota := make([]int, cfg.Clients)
+	issued := make([]int, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		cls[i] = d.Client(d.Clients[i])
+		gens[i] = workload.NewGenerator(cfg.Mix, objects, cfg.Seed*1_000_003+int64(i)*7919+11)
+		quota[i] = cfg.Txns / cfg.Clients
+		if i < cfg.Txns%cfg.Clients {
+			quota[i]++
+		}
+	}
+
+	nextTxn := func(i int) *model.Txn {
+		t := gens[i].Next(string(d.Clients[i]))
+		if !t.IsReadOnly() && !multiWrite {
+			t = gens[i].NextSingleWrite(string(d.Clients[i]))
+		}
+		return t
+	}
+	// refill tops every client up to its pipeline depth (closed loop).
+	refill := func() {
+		for i, cl := range cls {
+			for issued[i] < quota[i] && cl.Outstanding() < cfg.Pipeline {
+				d.Invoke(d.Clients[i], nextTxn(i))
+				issued[i]++
+				rep.Issued++
+			}
+		}
+	}
+	// needRefill is the scheduler stop predicate: hand control back to
+	// the driver the moment some client has spare pipeline capacity.
+	needRefill := func() bool {
+		for i, cl := range cls {
+			if issued[i] < quota[i] && cl.Outstanding() < cfg.Pipeline {
+				return true
+			}
+		}
+		return false
+	}
+
+	lat := stats.NewCollector()
+	rot := stats.NewCollector()
+	wr := stats.NewCollector()
+	rounds, nROT := 0, 0
+	if cfg.RecordHistory {
+		rep.History = history.New(d.Initials())
+	}
+	collect := func() {
+		for _, cl := range cls {
+			for _, res := range cl.TakeFinished() {
+				if !res.OK() {
+					rep.Rejected++
+					continue
+				}
+				rep.Committed++
+				l := res.Completed - res.Invoked
+				lat.Add(l)
+				if res.Txn.IsReadOnly() {
+					rot.Add(l)
+					rounds += res.Rounds
+					nROT++
+				} else {
+					wr.Add(l)
+				}
+				if rep.History != nil {
+					rep.History.AddResult(res)
+				}
+			}
+		}
+	}
+
+	sched := &sim.Network{}
+	start := d.Kernel.Now()
+	for {
+		refill()
+		n := sim.Run(d.Kernel, sched, func(*sim.Kernel) bool { return needRefill() }, cfg.MaxEvents-rep.Events)
+		rep.Events += n
+		collect()
+		if needRefill() && rep.Events < cfg.MaxEvents {
+			continue // a client freed up: top it up and keep going
+		}
+		// Either everything is issued (n == 0 with nothing enabled means
+		// the run is fully drained) or the event budget ran out.
+		if n == 0 || rep.Events >= cfg.MaxEvents {
+			break
+		}
+	}
+	collect()
+	rep.Duration = d.Kernel.Now() - start
+
+	for _, cl := range cls {
+		rep.Incomplete += cl.Outstanding()
+	}
+	rep.Latency = lat.Summarize()
+	rep.ROT = rot.Summarize()
+	rep.Write = wr.Summarize()
+	if nROT > 0 {
+		rep.ROTRounds = float64(rounds) / float64(nROT)
+	}
+	if rep.Duration > 0 {
+		rep.Throughput = float64(rep.Committed) / (float64(rep.Duration) / 1e6)
+	}
+	if rep.Issued > 0 {
+		rep.AbortRate = float64(rep.Rejected) / float64(rep.Issued)
+	}
+	return rep, nil
+}

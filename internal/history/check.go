@@ -258,6 +258,24 @@ func (g *graph) witness(order []int) []model.TxnID {
 	return out
 }
 
+// Check dispatches to the checker matching a claimed consistency level
+// ("causal", "read-atomic", "serializable", "strict-serializable"). Any
+// other level (including "none") falls back to the causal check, the
+// paper's baseline property. The load driver uses it to certify concurrent
+// executions at each protocol's claimed level.
+func Check(h *History, level string) Verdict {
+	switch level {
+	case "read-atomic":
+		return CheckReadAtomic(h)
+	case "serializable":
+		return CheckSerializable(h)
+	case "strict-serializable":
+		return CheckStrictSerializable(h)
+	default:
+		return CheckCausal(h)
+	}
+}
+
 // CheckCausal checks Definition 1: the causal relation must be acyclic and
 // every client must have a serialization of all transactions, respecting
 // causal order and all program orders, in which its own transactions are

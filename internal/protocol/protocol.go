@@ -76,19 +76,27 @@ type ValueCarrier interface {
 	CarriedValues() []model.ValueRef
 }
 
-// Client is a protocol client process. One transaction may be in flight at
-// a time (the paper's clients are sequential).
+// Client is a protocol client process. Clients are sequential (the paper's
+// model): one transaction is actively executed at a time, and further
+// invocations queue behind it in submission order, forming a per-client
+// pipeline the load driver keeps saturated.
 type Client interface {
 	sim.Process
 	// Invoke submits a transaction. If the transaction's ID is zero the
-	// client assigns the next per-client sequence number. Invoke panics
-	// if a transaction is already in flight. The (possibly assigned) ID
-	// is returned.
+	// client assigns the next per-client sequence number. If a
+	// transaction is already active the new one queues behind it. The
+	// (possibly assigned) ID is returned.
 	Invoke(t *model.Txn) model.TxnID
-	// Busy reports whether a transaction is in flight.
+	// Busy reports whether a transaction is actively executing.
 	Busy() bool
+	// Outstanding reports the number of invoked-but-unfinished
+	// transactions (the active one plus the queue).
+	Outstanding() int
 	// Results returns the completed transactions' results, keyed by ID.
 	Results() map[model.TxnID]*model.Result
+	// TakeFinished drains the results completed since the previous call,
+	// in completion order (per-client program order).
+	TakeFinished() []*model.Result
 }
 
 // Protocol builds the processes of one modeled system.

@@ -138,15 +138,89 @@ func TestCoreLifecycle(t *testing.T) {
 	}
 }
 
-func TestCoreDoubleInvokePanics(t *testing.T) {
+func TestCorePipelinesSecondInvoke(t *testing.T) {
+	c := NewCore("cX", Disjoint(2, 1))
+	id1 := c.Invoke(model.NewReadOnly(model.TxnID{}, "X0"))
+	id2 := c.Invoke(model.NewReadOnly(model.TxnID{}, "X1"))
+	id3 := c.Invoke(model.NewReadOnly(model.TxnID{}, "X0", "X1"))
+	if id1.Seq != 1 || id2.Seq != 2 || id3.Seq != 3 {
+		t.Fatalf("ids = %v %v %v", id1, id2, id3)
+	}
+	if c.Outstanding() != 3 {
+		t.Fatalf("outstanding = %d, want 3", c.Outstanding())
+	}
+	// The active transaction is the first one; the rest are queued and
+	// invisible to the protocol state machine.
+	if c.Current().ID != id1 {
+		t.Fatalf("current = %v, want %v", c.Current().ID, id1)
+	}
+	// Finishing the active transaction activates the next queued one,
+	// unstarted, so Ready()-style scheduling picks it up.
+	c.Starting(10)
+	c.Finish(20)
+	if c.Current().ID != id2 || c.Started() {
+		t.Fatalf("after finish: current = %v started = %v", c.Current().ID, c.Started())
+	}
+	if c.Outstanding() != 2 {
+		t.Fatalf("outstanding = %d, want 2", c.Outstanding())
+	}
+	c.Starting(30)
+	c.Reject(35, "nope")
+	if c.Current().ID != id3 {
+		t.Fatalf("after reject: current = %v, want %v", c.Current().ID, id3)
+	}
+	c.Starting(40)
+	c.Finish(50)
+	if c.Busy() || c.Outstanding() != 0 {
+		t.Fatal("core busy after pipeline drained")
+	}
+	// TakeFinished drains completion-order results exactly once.
+	fin := c.TakeFinished()
+	if len(fin) != 3 || fin[0].Txn.ID != id1 || fin[1].Txn.ID != id2 || fin[2].Txn.ID != id3 {
+		t.Fatalf("finished = %v", fin)
+	}
+	if fin[1].Err == "" {
+		t.Fatal("rejected result lost its error")
+	}
+	if len(c.TakeFinished()) != 0 {
+		t.Fatal("TakeFinished not drained")
+	}
+	if len(c.Results()) != 3 {
+		t.Fatalf("results = %d", len(c.Results()))
+	}
+}
+
+func TestCloneCoreDetachesDrainedQueue(t *testing.T) {
 	c := NewCore("cX", Disjoint(2, 1))
 	c.Invoke(model.NewReadOnly(model.TxnID{}, "X0"))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
 	c.Invoke(model.NewReadOnly(model.TxnID{}, "X1"))
+	c.Starting(1)
+	c.Finish(2) // pops the queue: len 0, but backing capacity remains
+	cp := c.CloneCore()
+	id3 := c.Invoke(model.NewReadOnly(model.TxnID{}, "X0"))
+	cp.Invoke(model.NewReadOnly(model.TxnID{}, "X1")) // must not clobber id3
+	c.Starting(3)
+	c.Finish(4)
+	if got := c.Current().ID; got != id3 {
+		t.Fatalf("original's queued txn clobbered by clone append: current = %v, want %v", got, id3)
+	}
+}
+
+func TestCloneCoreCopiesPipeline(t *testing.T) {
+	c := NewCore("cX", Disjoint(2, 1))
+	c.Invoke(model.NewReadOnly(model.TxnID{}, "X0"))
+	c.Invoke(model.NewReadOnly(model.TxnID{}, "X1"))
+	cp := c.CloneCore()
+	cp.Starting(1)
+	cp.Finish(2)
+	cp.Starting(3)
+	cp.Finish(4)
+	if c.Outstanding() != 2 || c.Started() {
+		t.Fatal("clone drained the original's queue")
+	}
+	if len(c.TakeFinished()) != 0 || len(cp.TakeFinished()) != 2 {
+		t.Fatal("finished lists shared between clones")
+	}
 }
 
 func TestCoreReject(t *testing.T) {

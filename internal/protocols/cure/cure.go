@@ -245,9 +245,11 @@ func (s *server) serveRead(from sim.ProcessID, req *readReq) sim.Outbound {
 		// A version is inside the snapshot only if its entire commit
 		// vector is dominated: an entry for another server above the
 		// snapshot means the version (or a dependency) is not covered.
-		v := s.st.Latest(obj, func(v *store.Version) bool {
-			return v.Visible && v.Vec.LessEq(req.Snap)
-		})
+		// Among covered versions the winner is picked by the uniform
+		// vector order, NOT install order: concurrent transactions
+		// prepare in different orders at different servers, and an
+		// install-order read would fracture their atomic visibility.
+		v := s.st.SnapshotReadVec(obj, req.Snap)
 		if v != nil {
 			resp.Vals = append(resp.Vals, readVal{
 				Ref: model.ValueRef{Object: obj, Value: v.Value, Writer: v.Writer},

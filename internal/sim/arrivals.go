@@ -1,0 +1,64 @@
+package sim
+
+import "container/heap"
+
+// arrivalHeap is an indexed min-heap over in-transit messages, ordered by
+// (ReadyAt, ID). It is the Network scheduler's earliest-arrival index:
+// instead of rescanning every in-transit message per event (previously an
+// O(n) scan over a fresh slice copy), the next arrival is a heap peek.
+// Entries are lazily invalidated — Deliver/DropInTransit mark the message
+// gone and the heap discards stale tops on the next peek — so every
+// message is pushed and popped exactly once, O(log n) amortized per send.
+// (Executing the delivery still walks the transit buffer, which is O(in-
+// flight messages); making the heap the primary transit structure is a
+// ROADMAP item.)
+type arrivalHeap []*Message
+
+func (h arrivalHeap) Len() int { return len(h) }
+
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].ReadyAt != h[j].ReadyAt {
+		return h[i].ReadyAt < h[j].ReadyAt
+	}
+	return h[i].ID < h[j].ID
+}
+
+func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *arrivalHeap) Push(x any) { *h = append(*h, x.(*Message)) }
+
+func (h *arrivalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return m
+}
+
+// push adds a freshly sent message to the index.
+func (k *Kernel) pushArrival(m *Message) {
+	heap.Push(&k.arrivals, m)
+}
+
+// EarliestArrival returns the in-transit message with the smallest
+// (ReadyAt, ID), or nil when nothing is in transit. Stale heap entries
+// (messages already delivered or dropped) are discarded on the way.
+func (k *Kernel) EarliestArrival() *Message {
+	for k.arrivals.Len() > 0 {
+		m := k.arrivals[0]
+		if m.gone {
+			heap.Pop(&k.arrivals)
+			continue
+		}
+		return m
+	}
+	return nil
+}
+
+// rebuildArrivals reindexes the heap from the transit buffer (used by
+// Snapshot, whose messages are fresh clones).
+func (k *Kernel) rebuildArrivals() {
+	k.arrivals = append(k.arrivals[:0], k.transit...)
+	heap.Init(&k.arrivals)
+}

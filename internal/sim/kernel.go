@@ -22,7 +22,9 @@ func UniformLatency(lo, hi Time) LatencyModel {
 }
 
 // ConstantLatency returns a model with a fixed per-message latency.
-func ConstantLatency(d Time) Time { return d }
+func ConstantLatency(d Time) LatencyModel {
+	return func(Link, *RNG) Time { return d }
+}
 
 // StepCost is the virtual time consumed by one computation step.
 const StepCost Time = 1
@@ -37,11 +39,26 @@ type Kernel struct {
 	order   []ProcessID // sorted IDs, for deterministic iteration
 	transit []*Message  // outcome buffers: sent, not yet delivered (send order)
 	inbox   map[ProcessID][]*Message
-	nextID  int64
-	linkSeq map[Link]int64
-	rng     *RNG
-	latency LatencyModel
-	trace   *Trace
+	// pendingInboxes counts processes with a non-empty income buffer, so
+	// schedulers can skip the per-process scan when nothing is pending.
+	pendingInboxes int
+	// arrivals indexes transit by (ReadyAt, ID) for the Network scheduler.
+	arrivals arrivalHeap
+	nextID   int64
+	linkSeq  map[Link]int64
+	rng      *RNG
+	latency  LatencyModel
+	trace    *Trace
+	// evSeq numbers trace events. It keeps advancing even when events are
+	// capped or discarded, so retained events carry their true positions.
+	evSeq int64
+	// traceCap bounds the retained trace: 0 keeps everything (the proof
+	// machinery needs full traces), n > 0 keeps roughly the most recent n
+	// events, and a negative cap disables recording entirely (load mode).
+	traceCap int
+	// keepPayloads controls the sent-payload registry below. Load-mode
+	// runs disable it so memory stays flat over millions of events.
+	keepPayloads bool
 	// sent is a registry of every payload ever sent, by message ID, used
 	// by trace analysis (spec measurements). Payloads are immutable after
 	// send by convention, so snapshots share the registry entries.
@@ -55,15 +72,29 @@ func NewKernel(seed int64, lat LatencyModel) *Kernel {
 		lat = UniformLatency(500, 1500)
 	}
 	return &Kernel{
-		procs:   make(map[ProcessID]Process),
-		inbox:   make(map[ProcessID][]*Message),
-		linkSeq: make(map[Link]int64),
-		rng:     NewRNG(seed),
-		latency: lat,
-		trace:   &Trace{},
-		sent:    make(map[int64]Payload),
+		procs:        make(map[ProcessID]Process),
+		inbox:        make(map[ProcessID][]*Message),
+		linkSeq:      make(map[Link]int64),
+		rng:          NewRNG(seed),
+		latency:      lat,
+		trace:        &Trace{},
+		keepPayloads: true,
+		sent:         make(map[int64]Payload),
 	}
 }
+
+// SetTraceCap bounds the retained execution trace. n == 0 restores the
+// default unbounded trace, n > 0 retains at least the most recent n events
+// (the buffer is compacted when it reaches 2n, so between n and 2n events
+// are resident), and n < 0 disables event recording entirely. Event
+// sequence numbers keep advancing regardless, and Trace().Dropped counts
+// the discarded events.
+func (k *Kernel) SetTraceCap(n int) { k.traceCap = n }
+
+// SetPayloadRetention toggles the sent-payload registry backing PayloadOf.
+// Trace analysis (the spec measurements) needs it; load-mode throughput
+// runs disable it so memory stays flat over millions of sends.
+func (k *Kernel) SetPayloadRetention(on bool) { k.keepPayloads = on }
 
 // Add registers a process. It panics on duplicate IDs.
 func (k *Kernel) Add(p Process) {
@@ -132,11 +163,11 @@ func (k *Kernel) Inbox(pid ProcessID) []*Message {
 // consumption and no process is Ready. It corresponds to the paper's
 // quiescent configurations once all invoked transactions have completed.
 func (k *Kernel) Quiescent() bool {
-	if len(k.transit) > 0 {
+	if len(k.transit) > 0 || k.pendingInboxes > 0 {
 		return false
 	}
 	for _, id := range k.order {
-		if len(k.inbox[id]) > 0 || k.procs[id].Ready() {
+		if k.procs[id].Ready() {
 			return false
 		}
 	}
@@ -150,10 +181,14 @@ func (k *Kernel) Deliver(msgID int64) *Message {
 	for i, m := range k.transit {
 		if m.ID == msgID {
 			k.transit = append(k.transit[:i], k.transit[i+1:]...)
+			m.gone = true
 			if m.ReadyAt > k.now {
 				k.now = m.ReadyAt
 			}
 			m.DeliveredAt = k.now
+			if len(k.inbox[m.To]) == 0 {
+				k.pendingInboxes++
+			}
 			k.inbox[m.To] = append(k.inbox[m.To], m)
 			k.record(Event{
 				Kind: EvDeliver,
@@ -174,6 +209,9 @@ func (k *Kernel) StepProcess(pid ProcessID) []*Message {
 		panic(fmt.Sprintf("sim: StepProcess(%s): unknown process", pid))
 	}
 	in := k.inbox[pid]
+	if len(in) > 0 {
+		k.pendingInboxes--
+	}
 	k.inbox[pid] = nil
 	k.now += StepCost
 
@@ -196,7 +234,10 @@ func (k *Kernel) StepProcess(pid ProcessID) []*Message {
 		}
 		m.ReadyAt = k.now + k.latency(l, k.rng)
 		k.transit = append(k.transit, m)
-		k.sent[m.ID] = m.Payload
+		k.pushArrival(m)
+		if k.keepPayloads {
+			k.sent[m.ID] = m.Payload
+		}
 		sent = append(sent, m)
 	}
 
@@ -217,9 +258,20 @@ func (k *Kernel) Annotate(kind EventKind, pid ProcessID, note string) {
 }
 
 func (k *Kernel) record(ev Event) {
-	ev.Seq = int64(len(k.trace.Events))
+	if k.traceCap < 0 {
+		k.evSeq++
+		k.trace.Dropped++
+		return
+	}
+	ev.Seq = k.evSeq
+	k.evSeq++
 	ev.At = k.now
 	k.trace.Events = append(k.trace.Events, ev)
+	if k.traceCap > 0 && len(k.trace.Events) >= 2*k.traceCap {
+		drop := len(k.trace.Events) - k.traceCap
+		k.trace.Dropped += int64(drop)
+		k.trace.Events = append(k.trace.Events[:0:0], k.trace.Events[drop:]...)
+	}
 }
 
 func refOf(m *Message) MsgRef {
@@ -227,7 +279,8 @@ func refOf(m *Message) MsgRef {
 }
 
 // PayloadOf returns the payload of any message ever sent in this kernel
-// (or its snapshot ancestors), by message ID. Returns nil if unknown.
+// (or its snapshot ancestors), by message ID. Returns nil if unknown or if
+// payload retention is disabled.
 func (k *Kernel) PayloadOf(id int64) Payload { return k.sent[id] }
 
 // Snapshot returns a deep copy of the configuration: process states, all
@@ -235,16 +288,20 @@ func (k *Kernel) PayloadOf(id int64) Payload { return k.sent[id] }
 // copy's future evolution is completely independent of the original's.
 func (k *Kernel) Snapshot() *Kernel {
 	c := &Kernel{
-		now:     k.now,
-		procs:   make(map[ProcessID]Process, len(k.procs)),
-		order:   append([]ProcessID(nil), k.order...),
-		inbox:   make(map[ProcessID][]*Message, len(k.inbox)),
-		nextID:  k.nextID,
-		linkSeq: make(map[Link]int64, len(k.linkSeq)),
-		rng:     k.rng.Clone(),
-		latency: k.latency,
-		trace:   k.trace.clone(),
-		sent:    make(map[int64]Payload, len(k.sent)),
+		now:            k.now,
+		procs:          make(map[ProcessID]Process, len(k.procs)),
+		order:          append([]ProcessID(nil), k.order...),
+		inbox:          make(map[ProcessID][]*Message, len(k.inbox)),
+		pendingInboxes: k.pendingInboxes,
+		nextID:         k.nextID,
+		linkSeq:        make(map[Link]int64, len(k.linkSeq)),
+		rng:            k.rng.Clone(),
+		latency:        k.latency,
+		trace:          k.trace.clone(),
+		evSeq:          k.evSeq,
+		traceCap:       k.traceCap,
+		keepPayloads:   k.keepPayloads,
+		sent:           make(map[int64]Payload, len(k.sent)),
 	}
 	for id, p := range k.sent {
 		c.sent[id] = p
@@ -256,6 +313,7 @@ func (k *Kernel) Snapshot() *Kernel {
 	for i, m := range k.transit {
 		c.transit[i] = m.clone()
 	}
+	c.rebuildArrivals()
 	for id, msgs := range k.inbox {
 		if len(msgs) == 0 {
 			continue
@@ -280,6 +338,7 @@ func (k *Kernel) DropInTransit(msgID int64) bool {
 	for i, m := range k.transit {
 		if m.ID == msgID {
 			k.transit = append(k.transit[:i], k.transit[i+1:]...)
+			m.gone = true
 			k.Annotate(EvMark, m.From, fmt.Sprintf("dropped %s", m))
 			return true
 		}

@@ -1,7 +1,5 @@
 package sim
 
-import "sort"
-
 // ActionKind classifies scheduler decisions.
 type ActionKind uint8
 
@@ -102,33 +100,48 @@ func (r *Restriction) AllowsMsg(m *Message) bool {
 
 // enabled lists the currently enabled actions under a restriction, in a
 // deterministic order: deliveries in send order first, then steps of
-// processes with pending inboxes, then steps of Ready processes.
+// processes with pending inboxes, then steps of Ready processes. It reads
+// kernel state directly (no per-event copies or re-sorting; k.order is
+// maintained sorted).
 func enabled(k *Kernel, r *Restriction) []Action {
 	var acts []Action
-	for _, m := range k.InTransit() {
+	for _, m := range k.transit {
 		if r.AllowsMsg(m) {
 			acts = append(acts, Action{Kind: ActDeliver, Msg: m.ID})
 		}
 	}
-	ids := k.Processes()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range k.order {
 		if !r.AllowsProc(id) {
 			continue
 		}
-		if len(k.Inbox(id)) > 0 {
+		if len(k.inbox[id]) > 0 {
 			acts = append(acts, Action{Kind: ActStep, Proc: id})
 		}
 	}
-	for _, id := range ids {
+	for _, id := range k.order {
 		if !r.AllowsProc(id) {
 			continue
 		}
-		if len(k.Inbox(id)) == 0 && k.Process(id).Ready() {
+		if len(k.inbox[id]) == 0 && k.procs[id].Ready() {
 			acts = append(acts, Action{Kind: ActStep, Proc: id})
 		}
 	}
 	return acts
+}
+
+// firstPendingInbox returns the first process (in sorted ID order) allowed
+// by r whose income buffer is non-empty. The kernel's pending-inbox
+// counter short-circuits the scan when nothing is pending.
+func firstPendingInbox(k *Kernel, r *Restriction) (ProcessID, bool) {
+	if k.pendingInboxes == 0 {
+		return "", false
+	}
+	for _, id := range k.order {
+		if r.AllowsProc(id) && len(k.inbox[id]) > 0 {
+			return id, true
+		}
+	}
+	return "", false
 }
 
 // RoundRobin is a fair deterministic scheduler: it prefers stepping
@@ -141,19 +154,16 @@ type RoundRobin struct {
 
 // Next implements Scheduler.
 func (s *RoundRobin) Next(k *Kernel) (Action, bool) {
-	ids := k.Processes()
-	for _, id := range ids {
-		if s.Only.AllowsProc(id) && len(k.Inbox(id)) > 0 {
-			return Action{Kind: ActStep, Proc: id}, true
-		}
+	if id, ok := firstPendingInbox(k, s.Only); ok {
+		return Action{Kind: ActStep, Proc: id}, true
 	}
-	for _, m := range k.InTransit() {
+	for _, m := range k.transit {
 		if s.Only.AllowsMsg(m) {
 			return Action{Kind: ActDeliver, Msg: m.ID}, true
 		}
 	}
-	for _, id := range ids {
-		if s.Only.AllowsProc(id) && k.Process(id).Ready() {
+	for _, id := range k.order {
+		if s.Only.AllowsProc(id) && k.procs[id].Ready() {
 			return Action{Kind: ActStep, Proc: id}, true
 		}
 	}
@@ -181,34 +191,54 @@ func (s *Random) Next(k *Kernel) (Action, bool) {
 
 // Network delivers messages in earliest-ReadyAt order and steps any process
 // with pending input immediately, modelling a well-behaved network for the
-// latency experiments (no adversarial reordering beyond sampled latency).
+// latency and throughput experiments (no adversarial reordering beyond
+// sampled latency). Unrestricted, it finds the next arrival through the
+// kernel's indexed min-arrival heap instead of rescanning every in-transit
+// message, which keeps per-event cost logarithmic under concurrent load.
 type Network struct {
 	Only *Restriction
 }
 
-// Next implements Scheduler.
-func (s *Network) Next(k *Kernel) (Action, bool) {
-	for _, id := range k.Processes() {
-		if s.Only.AllowsProc(id) && len(k.Inbox(id)) > 0 {
-			return Action{Kind: ActStep, Proc: id}, true
-		}
+// nextArrival returns the earliest-(ReadyAt, ID) in-transit message under
+// the restriction: heap peek when unrestricted, scan otherwise (restricted
+// runs are small proof-machinery executions).
+func nextArrival(k *Kernel, r *Restriction) *Message {
+	if r == nil {
+		return k.EarliestArrival()
 	}
 	var best *Message
-	for _, m := range k.InTransit() {
-		if !s.Only.AllowsMsg(m) {
+	for _, m := range k.transit {
+		if !r.AllowsMsg(m) {
 			continue
 		}
 		if best == nil || m.ReadyAt < best.ReadyAt || (m.ReadyAt == best.ReadyAt && m.ID < best.ID) {
 			best = m
 		}
 	}
-	if best != nil {
-		return Action{Kind: ActDeliver, Msg: best.ID}, true
+	return best
+}
+
+// Next implements Scheduler. The policy is a discrete-event simulation
+// step: react to pending input, deliver messages already due (ReadyAt ≤
+// now), let Ready processes act at the current instant (a freshly invoked
+// client sends its first round *now*, it does not wait for unrelated
+// traffic to drain — essential for concurrent closed-loop load), and only
+// when nobody can act now, advance the clock to the next arrival.
+func (s *Network) Next(k *Kernel) (Action, bool) {
+	if id, ok := firstPendingInbox(k, s.Only); ok {
+		return Action{Kind: ActStep, Proc: id}, true
 	}
-	for _, id := range k.Processes() {
-		if s.Only.AllowsProc(id) && k.Process(id).Ready() {
+	m := nextArrival(k, s.Only)
+	if m != nil && m.ReadyAt <= k.now {
+		return Action{Kind: ActDeliver, Msg: m.ID}, true
+	}
+	for _, id := range k.order {
+		if s.Only.AllowsProc(id) && k.procs[id].Ready() {
 			return Action{Kind: ActStep, Proc: id}, true
 		}
+	}
+	if m != nil {
+		return Action{Kind: ActDeliver, Msg: m.ID}, true
 	}
 	return Action{}, false
 }

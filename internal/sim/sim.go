@@ -58,6 +58,9 @@ type Message struct {
 	SentAt, ReadyAt Time
 	// DeliveredAt is set when the message enters the income buffer.
 	DeliveredAt Time
+	// gone marks a message removed from transit (delivered or dropped);
+	// the arrival heap uses it to discard stale index entries lazily.
+	gone bool
 }
 
 func (m *Message) String() string {

@@ -76,15 +76,19 @@ func (e Event) String() string {
 	}
 }
 
-// Trace is an append-only execution log.
+// Trace is an append-only execution log. Under a trace cap (load mode) it
+// retains only the most recent events; Dropped counts the discarded ones.
 type Trace struct {
 	Events []Event
+	// Dropped is the number of events discarded under a trace cap. The
+	// full history spans Dropped+len(Events) events.
+	Dropped int64
 }
 
 // clone returns a deep copy (Event values are immutable once recorded, so a
 // slice copy suffices).
 func (t *Trace) clone() *Trace {
-	c := &Trace{Events: make([]Event, len(t.Events))}
+	c := &Trace{Events: make([]Event, len(t.Events)), Dropped: t.Dropped}
 	copy(c.Events, t.Events)
 	return c
 }

@@ -178,9 +178,12 @@ func (s *Store) LatestVisibleAtOrBefore(obj string, at vclock.HLCStamp) *Version
 	})
 }
 
-// LatestVisibleVecLeq returns the newest visible version of obj whose
-// vector timestamp is ≤ the snapshot vector (Cure-style reads), or nil.
-// Versions without vectors are treated as ≤ everything.
+// LatestVisibleVecLeq returns the newest version in *install order* among
+// visible versions whose vector timestamp is ≤ the snapshot vector.
+// Versions without vectors are treated as ≤ everything. Snapshot-reading
+// protocols should use SnapshotReadVec instead: install order of
+// concurrent transactions differs across servers, so selecting by it
+// fractures atomic multi-object snapshots.
 func (s *Store) LatestVisibleVecLeq(obj string, snap vclock.Vector) *Version {
 	return s.Latest(obj, func(v *Version) bool {
 		if !v.Visible {
@@ -188,6 +191,39 @@ func (s *Store) LatestVisibleVecLeq(obj string, snap vclock.Vector) *Version {
 		}
 		return v.Vec == nil || v.Vec.LessEq(snap)
 	})
+}
+
+// SnapshotReadVec returns the visible version of obj that is largest in
+// the uniform vector order (vclock.Vector.Compare, writer ID as the final
+// tie-break) among those with Vec ≤ snap, or nil. Versions without
+// vectors are treated as ≤ everything and older than any vectored
+// version. Because every server applies the same total order, two servers
+// serving the same snapshot agree on which of two concurrent transactions
+// wins — keeping multi-object write transactions atomically visible.
+func (s *Store) SnapshotReadVec(obj string, snap vclock.Vector) *Version {
+	var best *Version
+	for _, v := range s.objects[obj] {
+		if !v.Visible || (v.Vec != nil && !v.Vec.LessEq(snap)) {
+			continue
+		}
+		if best == nil || vecVersionLess(best, v) {
+			best = v
+		}
+	}
+	return best
+}
+
+// vecVersionLess orders versions by (has-vector, Vector.Compare, Writer).
+func vecVersionLess(a, b *Version) bool {
+	if (a.Vec == nil) != (b.Vec == nil) {
+		return a.Vec == nil
+	}
+	if a.Vec != nil {
+		if c := a.Vec.Compare(b.Vec); c != 0 {
+			return c < 0
+		}
+	}
+	return a.Writer.String() < b.Writer.String()
 }
 
 // VersionLess is the global version order timestamp-based protocols use:

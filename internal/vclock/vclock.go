@@ -75,6 +75,25 @@ func (v Vector) LessEq(o Vector) bool {
 // Less reports whether v < o (LessEq and not equal).
 func (v Vector) Less(o Vector) bool { return v.LessEq(o) && !v.Equal(o) }
 
+// Compare is a total order on equal-length vectors: lexicographic by
+// entry. It extends the happened-before partial order (if v ≤ o entrywise
+// then Compare(v, o) ≤ 0), giving concurrent vectors a uniform arbitration
+// every process agrees on — the vector analogue of store.VersionLess.
+func (v Vector) Compare(o Vector) int {
+	if len(v) != len(o) {
+		panic("vclock: compare of mismatched vectors")
+	}
+	for i, x := range v {
+		if x != o[i] {
+			if x < o[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // Equal reports entrywise equality.
 func (v Vector) Equal(o Vector) bool {
 	if len(v) != len(o) {

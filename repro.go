@@ -13,10 +13,13 @@
 //     any protocol — it either names the property the protocol sacrifices
 //     or constructs a causal-consistency-violating execution;
 //   - MeasureLatency / LatencySweep: the latency/staleness experiments;
+//   - MeasureThroughput / ThroughputSweep: closed-loop concurrent load
+//     runs (many clients, per-txn latency, committed txns per virtual
+//     second) built on the internal/driver harness;
 //   - Deploy: build a simulated deployment for custom experiments.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every table and figure.
+// See DESIGN.md for the layer architecture and system inventory and
+// EXPERIMENTS.md for how to run the experiments and benchmarks.
 package repro
 
 import (
@@ -45,6 +48,9 @@ type Row = core.Row
 
 // LatencyReport is the outcome of a latency experiment.
 type LatencyReport = core.LatencyReport
+
+// ThroughputReport is the outcome of a closed-loop throughput run.
+type ThroughputReport = core.ThroughputReport
 
 // Mix describes a workload.
 type Mix = workload.Mix
@@ -124,6 +130,17 @@ func MeasureLatency(name string, mix Mix, txns int, seed int64) (LatencyReport, 
 		return LatencyReport{}, err
 	}
 	return core.MeasureLatency(p, mix, txns, seed)
+}
+
+// MeasureThroughput runs a closed-loop concurrent load experiment: clients
+// concurrent clients submitting txns transactions of the mix, reporting
+// throughput and latency under load.
+func MeasureThroughput(name string, mix Mix, clients, txns int, seed int64) (ThroughputReport, error) {
+	p, err := Lookup(name)
+	if err != nil {
+		return ThroughputReport{}, err
+	}
+	return core.MeasureThroughput(p, mix, clients, txns, seed)
 }
 
 // ReadHeavy is the canonical 95/5 workload mix.
