@@ -172,6 +172,32 @@ func BenchmarkClosedLoopThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkOpenLoopCurve measures one open-loop latency–throughput curve
+// (E9): saturation estimate plus a light/heavy rate pair. The reported
+// metric is kernel events per committed transaction at 10% load — the
+// quantity the time-leap scheduler keeps small (a spin regression shows
+// up as a ~100× jump).
+func BenchmarkOpenLoopCurve(b *testing.B) {
+	for _, name := range []string{"cops", "spanner"} {
+		b.Run(name, func(b *testing.B) {
+			var evPerTxn float64
+			for i := 0; i < b.N; i++ {
+				curve, err := core.MeasureLoadCurve(core.ByName(name), workload.ReadHeavy(), int64(i)+1,
+					core.CurveOptions{Clients: 8, Txns: 300, Fractions: []float64{0.1, 0.9}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				light := curve.Points[0]
+				if light.Incomplete != 0 {
+					b.Fatalf("%d transactions incomplete", light.Incomplete)
+				}
+				evPerTxn = float64(light.Events) / float64(light.Committed)
+			}
+			b.ReportMetric(evPerTxn, "events/txn@10%")
+		})
+	}
+}
+
 // BenchmarkDriverEventRate measures raw kernel event throughput under
 // concurrent load (events are the unit of simulated work, so wall-clock
 // per event is the substrate cost to optimize).

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// curveRow is one grid cell of the -curve output: an open-loop run of one
+// protocol × mix × offered-rate point.
+type curveRow struct {
+	Protocol     string  `json:"protocol"`
+	MixName      string  `json:"mix"`
+	ReadFraction float64 `json:"read_fraction"`
+	ZipfS        float64 `json:"zipf_s"`
+	Clients      int     `json:"clients"`
+	Txns         int     `json:"txns"`
+	Arrivals     string  `json:"arrivals"`
+
+	Saturated float64 `json:"saturated_txn_per_s"`
+	Fraction  float64 `json:"fraction_of_saturated"`
+	Offered   float64 `json:"offered_txn_per_s"`
+	Achieved  float64 `json:"achieved_txn_per_s"`
+	Knee      float64 `json:"knee_txn_per_s"`
+
+	Committed  int   `json:"committed"`
+	Rejected   int   `json:"rejected"`
+	Incomplete int   `json:"incomplete"`
+	Events     int   `json:"events"`
+	DurationUs int64 `json:"duration_us"`
+
+	LatencyP50  int64   `json:"latency_p50_us"`
+	LatencyP90  int64   `json:"latency_p90_us"`
+	LatencyP99  int64   `json:"latency_p99_us"`
+	LatencyMean float64 `json:"latency_mean_us"`
+	QueueP50    int64   `json:"queue_delay_p50_us"`
+	QueueP99    int64   `json:"queue_delay_p99_us"`
+	QueueMean   float64 `json:"queue_delay_mean_us"`
+	ServiceP50  int64   `json:"service_p50_us"`
+	ServiceP99  int64   `json:"service_p99_us"`
+	InFlightMax int64   `json:"in_flight_max"`
+}
+
+// curveConfig parameterizes a curve grid build.
+type curveConfig struct {
+	protocols []string
+	mixes     []string
+	fractions []float64
+	clients   int
+	txns      int
+	servers   int
+	objects   int
+	seed      int64
+	uniform   bool // deterministic-rate arrivals instead of Poisson
+}
+
+// buildCurve measures one latency–throughput curve per protocol × mix and
+// flattens the points into grid rows. Fully deterministic for a fixed
+// config.
+func buildCurve(cfg curveConfig) ([]curveRow, error) {
+	arrivals := "poisson"
+	if cfg.uniform {
+		arrivals = "uniform"
+	}
+	rows := []curveRow{}
+	for _, name := range cfg.protocols {
+		p := core.ByName(strings.TrimSpace(name))
+		if p == nil {
+			return nil, fmt.Errorf("unknown protocol %q (have %v)", name, core.Names())
+		}
+		for _, mixName := range cfg.mixes {
+			mix, err := mixByName(strings.TrimSpace(mixName))
+			if err != nil {
+				return nil, err
+			}
+			curve, err := core.MeasureLoadCurve(p, mix, cfg.seed, core.CurveOptions{
+				Servers: cfg.servers, ObjectsPerServer: cfg.objects,
+				Clients: cfg.clients, Txns: cfg.txns,
+				Fractions: cfg.fractions, Deterministic: cfg.uniform,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, pt := range curve.Points {
+				rows = append(rows, curveRow{
+					Protocol:     curve.Protocol,
+					MixName:      strings.TrimSpace(mixName),
+					ReadFraction: mix.ReadFraction,
+					ZipfS:        mix.ZipfS,
+					Clients:      cfg.clients,
+					Txns:         cfg.txns,
+					Arrivals:     arrivals,
+					Saturated:    curve.Saturated,
+					Fraction:     pt.Fraction,
+					Offered:      pt.Offered,
+					Achieved:     pt.Achieved,
+					Knee:         curve.Knee,
+					Committed:    pt.Committed,
+					Rejected:     pt.Rejected,
+					Incomplete:   pt.Incomplete,
+					Events:       pt.Events,
+					DurationUs:   int64(pt.Duration),
+					LatencyP50:   pt.Latency.P50,
+					LatencyP90:   pt.Latency.P90,
+					LatencyP99:   pt.Latency.P99,
+					LatencyMean:  pt.Latency.Mean,
+					QueueP50:     pt.QueueDelay.P50,
+					QueueP99:     pt.QueueDelay.P99,
+					QueueMean:    pt.QueueDelay.Mean,
+					ServiceP50:   pt.Service.P50,
+					ServiceP99:   pt.Service.P99,
+					InFlightMax:  pt.InFlight.Max,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad fraction %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

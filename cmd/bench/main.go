@@ -1,7 +1,16 @@
-// Command bench runs the closed-loop concurrent load harness over a
-// protocol × mix × client-count grid and emits machine-readable JSON, one
-// summary row per cell: throughput (committed transactions per virtual
-// second), latency percentiles, abort and incompletion counts.
+// Command bench runs the concurrent load harness and emits
+// machine-readable JSON grids.
+//
+// The default mode drives the closed-loop harness over a protocol × mix ×
+// client-count grid, one summary row per cell: throughput (committed
+// transactions per virtual second), latency percentiles, abort and
+// incompletion counts.
+//
+// With -curve it instead sweeps open-loop offered load over a protocol ×
+// mix × rate grid: each protocol's saturated throughput is estimated
+// closed-loop, then one open-loop run per -fractions entry charts the
+// latency–throughput curve, with queueing delay and service latency
+// reported separately and the knee of the curve on every row.
 //
 // Runs are fully deterministic: the same flags produce byte-identical
 // output, so the JSON can be diffed across commits to track performance
@@ -9,6 +18,7 @@
 //
 //	go run ./cmd/bench -clients 16 -txns 2000
 //	go run ./cmd/bench -protocols all -clients 1,8,32 -mixes readheavy,balanced
+//	go run ./cmd/bench -curve -protocols cops,spanner -fractions 0.1,0.5,0.9,1.1
 package main
 
 import (
@@ -72,54 +82,41 @@ func parseInts(csv string) ([]int, error) {
 	return out, nil
 }
 
-func main() {
-	protocols := flag.String("protocols", "cops,cure,spanner",
-		"comma-separated protocol names, or 'all'")
-	clients := flag.String("clients", "16", "comma-separated concurrent client counts")
-	txns := flag.Int("txns", 2000, "transactions per grid cell")
-	mixes := flag.String("mixes", "readheavy", "comma-separated mixes (readheavy, balanced)")
-	pipeline := flag.Int("pipeline", 1, "outstanding invocations per client")
-	servers := flag.Int("servers", 2, "servers in the deployment")
-	objects := flag.Int("objects", 2, "objects per server")
-	seed := flag.Int64("seed", 42, "deterministic run seed")
-	flag.Parse()
+// gridConfig parameterizes a closed-loop grid build.
+type gridConfig struct {
+	protocols []string
+	mixes     []string
+	clients   []int
+	txns      int
+	pipeline  int
+	servers   int
+	objects   int
+	seed      int64
+}
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
-
-	var names []string
-	if *protocols == "all" {
-		names = core.Names()
-	} else {
-		names = strings.Split(*protocols, ",")
-	}
-	counts, err := parseInts(*clients)
-	if err != nil {
-		fail(err)
-	}
-
-	var rows []row
-	for _, name := range names {
+// buildGrid measures every protocol × mix × client-count cell closed-loop.
+// Fully deterministic for a fixed config.
+func buildGrid(cfg gridConfig) ([]row, error) {
+	rows := []row{}
+	for _, name := range cfg.protocols {
 		p := core.ByName(strings.TrimSpace(name))
 		if p == nil {
-			fail(fmt.Errorf("unknown protocol %q (have %v)", name, core.Names()))
+			return nil, fmt.Errorf("unknown protocol %q (have %v)", name, core.Names())
 		}
-		for _, mixName := range strings.Split(*mixes, ",") {
+		for _, mixName := range cfg.mixes {
 			mixName = strings.TrimSpace(mixName)
 			mix, err := mixByName(mixName)
 			if err != nil {
-				fail(err)
+				return nil, err
 			}
-			for _, c := range counts {
-				rep, err := core.MeasureThroughputWith(p, mix, c, *txns, *seed, core.ThroughputOptions{
-					Servers:          *servers,
-					ObjectsPerServer: *objects,
-					Pipeline:         *pipeline,
+			for _, c := range cfg.clients {
+				rep, err := core.MeasureThroughputWith(p, mix, c, cfg.txns, cfg.seed, core.ThroughputOptions{
+					Servers:          cfg.servers,
+					ObjectsPerServer: cfg.objects,
+					Pipeline:         cfg.pipeline,
 				})
 				if err != nil {
-					fail(err)
+					return nil, err
 				}
 				rows = append(rows, row{
 					Protocol:     rep.Protocol,
@@ -128,7 +125,7 @@ func main() {
 					ZipfS:        mix.ZipfS,
 					Clients:      rep.Clients,
 					Pipeline:     rep.Pipeline,
-					Txns:         *txns,
+					Txns:         cfg.txns,
 					Committed:    rep.Committed,
 					Rejected:     rep.Rejected,
 					Incomplete:   rep.Incomplete,
@@ -148,10 +145,78 @@ func main() {
 			}
 		}
 	}
+	return rows, nil
+}
+
+func main() {
+	protocols := flag.String("protocols", "cops,cure,spanner",
+		"comma-separated protocol names, or 'all'")
+	clients := flag.String("clients", "16", "comma-separated concurrent client counts")
+	txns := flag.Int("txns", 2000, "transactions per grid cell")
+	mixes := flag.String("mixes", "readheavy", "comma-separated mixes (readheavy, balanced)")
+	pipeline := flag.Int("pipeline", 1, "outstanding invocations per client")
+	servers := flag.Int("servers", 2, "servers in the deployment")
+	objects := flag.Int("objects", 2, "objects per server")
+	seed := flag.Int64("seed", 42, "deterministic run seed")
+	curve := flag.Bool("curve", false,
+		"sweep open-loop offered load instead of closed-loop client counts")
+	fractions := flag.String("fractions", "0.1,0.25,0.5,0.75,0.9,1.1",
+		"curve mode: comma-separated fractions of saturated throughput to offer")
+	curveClients := flag.Int("curveclients", 8, "curve mode: clients receiving arrivals")
+	arrivals := flag.String("arrivals", "poisson", "curve mode: arrival process (poisson, uniform)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	var names []string
+	if *protocols == "all" {
+		names = core.Names()
+	} else {
+		names = strings.Split(*protocols, ",")
+	}
+	mixNames := strings.Split(*mixes, ",")
+
+	var out any
+	if *curve {
+		fracs, err := parseFloats(*fractions)
+		if err != nil {
+			fail(err)
+		}
+		if *arrivals != "poisson" && *arrivals != "uniform" {
+			fail(fmt.Errorf("unknown arrival process %q (have poisson, uniform)", *arrivals))
+		}
+		rows, err := buildCurve(curveConfig{
+			protocols: names, mixes: mixNames, fractions: fracs,
+			clients: *curveClients, txns: *txns,
+			servers: *servers, objects: *objects, seed: *seed,
+			uniform: *arrivals == "uniform",
+		})
+		if err != nil {
+			fail(err)
+		}
+		out = rows
+	} else {
+		counts, err := parseInts(*clients)
+		if err != nil {
+			fail(err)
+		}
+		rows, err := buildGrid(gridConfig{
+			protocols: names, mixes: mixNames, clients: counts,
+			txns: *txns, pipeline: *pipeline,
+			servers: *servers, objects: *objects, seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		out = rows
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rows); err != nil {
+	if err := enc.Encode(out); err != nil {
 		fail(err)
 	}
 }

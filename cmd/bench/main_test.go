@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func encode(t *testing.T, v any) string {
+	t.Helper()
+	js, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(js)
+}
+
+func requireIdentical(t *testing.T, what, a, b string) {
+	t.Helper()
+	if a == b {
+		return
+	}
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			t.Fatalf("%s diverged at line %d:\n  run 1: %s\n  run 2: %s", what, i+1, la[i], lb[i])
+		}
+	}
+	t.Fatalf("%s diverged in length: %d vs %d lines", what, len(la), len(lb))
+}
+
+// TestGridJSONByteIdentical: the closed-loop grid is the bench's contract
+// — the same config must emit byte-identical JSON across runs so output
+// can be diffed across commits.
+func TestGridJSONByteIdentical(t *testing.T) {
+	cfg := gridConfig{
+		protocols: []string{"cops", "spanner"},
+		mixes:     []string{"readheavy", "balanced"},
+		clients:   []int{2, 8},
+		txns:      120, pipeline: 1, servers: 2, objects: 2, seed: 42,
+	}
+	run := func() string {
+		rows, err := buildGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encode(t, rows)
+	}
+	requireIdentical(t, "grid JSON", run(), run())
+}
+
+// TestCurveJSONByteIdentical: same for the open-loop curve grid,
+// including the Poisson arrival stream.
+func TestCurveJSONByteIdentical(t *testing.T) {
+	cfg := curveConfig{
+		protocols: []string{"cops", "cure"},
+		mixes:     []string{"readheavy"},
+		fractions: []float64{0.1, 0.9},
+		clients:   4, txns: 100, servers: 2, objects: 2, seed: 42,
+	}
+	run := func() string {
+		rows, err := buildCurve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encode(t, rows)
+	}
+	requireIdentical(t, "curve JSON", run(), run())
+}
+
+// TestCurveGridShape checks the grid covers protocol × mix × rate and
+// carries the open-loop fields.
+func TestCurveGridShape(t *testing.T) {
+	rows, err := buildCurve(curveConfig{
+		protocols: []string{"cops"}, mixes: []string{"readheavy"},
+		fractions: []float64{0.25, 1.2}, clients: 4, txns: 80,
+		servers: 2, objects: 2, seed: 7, uniform: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Arrivals != "uniform" || r.Saturated <= 0 || r.Offered <= 0 {
+			t.Fatalf("malformed row: %+v", r)
+		}
+		if r.ServiceP50 <= 0 || r.Committed == 0 {
+			t.Fatalf("open-loop fields missing: %+v", r)
+		}
+	}
+	if rows[0].Knee != rows[1].Knee {
+		t.Fatalf("knee differs within one curve: %f vs %f", rows[0].Knee, rows[1].Knee)
+	}
+}

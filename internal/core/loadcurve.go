@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// CurvePoint is one offered-rate point of a latency–throughput curve: an
+// open-loop run at a fixed fraction of the protocol's saturated
+// throughput.
+type CurvePoint struct {
+	Protocol string
+	Mix      workload.Mix
+	// Fraction of the saturated (closed-loop) throughput offered;
+	// Offered is that rate in transactions per virtual second; Achieved
+	// is what actually committed.
+	Fraction float64
+	Offered  float64
+	Achieved float64
+
+	Committed  int
+	Rejected   int
+	Incomplete int
+	Events     int
+	Duration   sim.Time
+
+	// Latency is end-to-end (scheduled arrival → completion);
+	// QueueDelay and Service are its decomposition; InFlight samples the
+	// outstanding-transaction depth at every injection.
+	Latency    stats.Summary
+	QueueDelay stats.Summary
+	Service    stats.Summary
+	InFlight   stats.Summary
+}
+
+// LoadCurve is a swept latency–throughput curve for one protocol × mix.
+type LoadCurve struct {
+	Protocol string
+	Mix      workload.Mix
+	// Saturated is the closed-loop throughput estimate the sweep is
+	// anchored to (committed transactions per virtual second with every
+	// client saturated).
+	Saturated float64
+	Points    []CurvePoint
+	// Knee is the highest swept offered rate at which queueing delay has
+	// not yet overtaken service time (p50 queueing ≤ p50 service): past
+	// it the curve bends vertical — latency grows without buying
+	// throughput, the regime the paper's lower bounds speak to. Zero
+	// when even the lightest point is past the knee.
+	Knee float64
+}
+
+// CurveOptions scales a load-curve sweep.
+type CurveOptions struct {
+	Servers          int
+	ObjectsPerServer int
+	// Clients receiving the open-loop arrivals round-robin (default 8).
+	Clients int
+	// Txns per curve point (default 400).
+	Txns int
+	// Fractions of the saturated throughput to sweep, ascending (default
+	// 0.1, 0.25, 0.5, 0.75, 0.9, 1.1: light load to past saturation).
+	Fractions []float64
+	// Deterministic selects fixed-interval arrivals instead of Poisson.
+	Deterministic bool
+	Latency       sim.LatencyModel
+}
+
+func (o *CurveOptions) defaults() {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Txns <= 0 {
+		o.Txns = 400
+	}
+	if len(o.Fractions) == 0 {
+		o.Fractions = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.1}
+	}
+}
+
+// MeasureLoadCurve sweeps offered load from light load to past saturation
+// for one protocol and mix: it first estimates the saturated throughput
+// with a closed-loop run, then drives one open-loop run per fraction of
+// it, reporting queueing delay and latency percentiles per point and the
+// knee of the resulting curve.
+func MeasureLoadCurve(p protocol.Protocol, mix workload.Mix, seed int64, opt CurveOptions) (LoadCurve, error) {
+	opt.defaults()
+	curve := LoadCurve{Protocol: p.Name(), Mix: mix}
+
+	sat, err := driver.Run(p, driver.Config{
+		Clients: opt.Clients, Txns: opt.Txns, Mix: mix, Seed: seed,
+		Servers: opt.Servers, ObjectsPerServer: opt.ObjectsPerServer,
+		Latency: opt.Latency,
+	})
+	if err != nil {
+		return curve, fmt.Errorf("core: saturation estimate for %s: %w", p.Name(), err)
+	}
+	if sat.Throughput <= 0 {
+		return curve, fmt.Errorf("core: %s committed nothing in the saturation run", p.Name())
+	}
+	curve.Saturated = sat.Throughput
+
+	for _, frac := range opt.Fractions {
+		rate := frac * curve.Saturated
+		rep, err := driver.Run(p, driver.Config{
+			Clients: opt.Clients, Txns: opt.Txns, Mix: mix, Seed: seed,
+			Servers: opt.Servers, ObjectsPerServer: opt.ObjectsPerServer,
+			Latency: opt.Latency,
+			Rate:    rate, DeterministicArrivals: opt.Deterministic,
+		})
+		if err != nil {
+			return curve, fmt.Errorf("core: curve point %s at %.0f txn/s: %w", p.Name(), rate, err)
+		}
+		curve.Points = append(curve.Points, CurvePoint{
+			Protocol: p.Name(), Mix: mix,
+			Fraction: frac, Offered: rate, Achieved: rep.Throughput,
+			Committed: rep.Committed, Rejected: rep.Rejected,
+			Incomplete: rep.Incomplete, Events: rep.Events, Duration: rep.Duration,
+			Latency: rep.Latency, QueueDelay: rep.QueueDelay,
+			Service: rep.Service, InFlight: rep.InFlight,
+		})
+	}
+	for _, pt := range curve.Points {
+		if pt.QueueDelay.P50 <= pt.Service.P50 && pt.Offered > curve.Knee {
+			curve.Knee = pt.Offered
+		}
+	}
+	return curve, nil
+}
+
+// FormatLoadCurve renders a curve as a table.
+func FormatLoadCurve(c LoadCurve) string {
+	out := fmt.Sprintf("%s (saturated %.0f txn/s, knee %.0f txn/s)\n", c.Protocol, c.Saturated, c.Knee)
+	out += fmt.Sprintf("%8s | %9s | %9s | %10s | %10s | %10s | %8s\n",
+		"frac", "offered", "achieved", "e2e p50", "queue p50", "svc p50", "depth")
+	for _, pt := range c.Points {
+		out += fmt.Sprintf("%8.2f | %9.0f | %9.0f | %10d | %10d | %10d | %8d\n",
+			pt.Fraction, pt.Offered, pt.Achieved, pt.Latency.P50, pt.QueueDelay.P50,
+			pt.Service.P50, pt.InFlight.Max)
+	}
+	return out
+}

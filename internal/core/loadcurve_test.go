@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/protocols/cops"
+	"repro/internal/workload"
+)
+
+func TestMeasureLoadCurveShape(t *testing.T) {
+	curve, err := MeasureLoadCurve(cops.New(), workload.ReadHeavy(), 5, CurveOptions{
+		Clients: 4, Txns: 120, Fractions: []float64{0.1, 0.5, 1.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Saturated <= 0 {
+		t.Fatalf("saturated = %f", curve.Saturated)
+	}
+	if len(curve.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(curve.Points))
+	}
+	light, heavy := curve.Points[0], curve.Points[2]
+	// Light load: queueing is negligible. Past saturation: it dominates.
+	if light.QueueDelay.P50 > light.Service.P50 {
+		t.Fatalf("light load already queueing: queue p50 %d > service p50 %d",
+			light.QueueDelay.P50, light.Service.P50)
+	}
+	if heavy.QueueDelay.P50 <= heavy.Service.P50 {
+		t.Fatalf("past saturation but no queueing: queue p50 %d ≤ service p50 %d",
+			heavy.QueueDelay.P50, heavy.Service.P50)
+	}
+	// End-to-end latency must grow monotonically enough to show the
+	// curve's bend: the overloaded point is far above the light one.
+	if heavy.Latency.P50 < 2*light.Latency.P50 {
+		t.Fatalf("no latency knee: light p50 %d, overloaded p50 %d",
+			light.Latency.P50, heavy.Latency.P50)
+	}
+	// The knee sits at or below the saturated rate and above zero here.
+	if curve.Knee <= 0 {
+		t.Fatal("knee not found despite an un-queued light-load point")
+	}
+	if curve.Knee >= heavy.Offered {
+		t.Fatalf("knee %.0f at or past the overloaded point %.0f", curve.Knee, heavy.Offered)
+	}
+	// Achieved throughput tracks offered load below the knee.
+	if light.Achieved < 0.5*light.Offered {
+		t.Fatalf("light load achieved %.0f of offered %.0f", light.Achieved, light.Offered)
+	}
+
+	// The table renderer covers every point plus the curve header.
+	table := FormatLoadCurve(curve)
+	if !strings.Contains(table, "cops") || !strings.Contains(table, "knee") {
+		t.Fatalf("FormatLoadCurve missing header fields:\n%s", table)
+	}
+	if got := strings.Count(table, "\n"); got != 2+len(curve.Points) {
+		t.Fatalf("FormatLoadCurve rendered %d lines, want %d:\n%s", got, 2+len(curve.Points), table)
+	}
+}

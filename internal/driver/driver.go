@@ -1,17 +1,23 @@
-// Package driver is the closed-loop concurrent load harness: it keeps N
-// protocol clients saturated with transactions from a workload generator,
-// records per-transaction latency, computes throughput (committed
-// transactions per virtual second) and abort/incompletion rates, and can
-// collect the completed operations into a history for consistency
-// certification of concurrent executions.
+// Package driver is the concurrent load harness: it drives N protocol
+// clients with transactions from a workload generator, records
+// per-transaction latency, computes throughput (committed transactions
+// per virtual second) and abort/incompletion rates, and can collect the
+// completed operations into a history for consistency certification of
+// concurrent executions.
 //
-// This is the execution mode the paper's motivation describes — many
-// concurrent clients over a skewed read-heavy mix — as opposed to the
-// one-transaction-at-a-time lockstep the proof machinery uses. Each client
-// runs closed-loop: it has up to Pipeline invocations outstanding and
-// submits a new transaction as soon as one completes. The run is fully
-// deterministic: the same protocol, configuration and seed produce the
-// same events, the same latencies and the same history.
+// Two load regimes are supported. Closed loop (the default) keeps every
+// client saturated: up to Pipeline invocations outstanding per client, a
+// new transaction submitted the moment one completes — this measures the
+// saturated endpoint of the latency–throughput curve. Open loop
+// (Config.Rate > 0) injects transactions at instants drawn from a
+// seeded arrival process (Poisson or deterministic-rate) regardless of
+// completions, assigning them round-robin to clients; queueing delay
+// (scheduled arrival → first client step), service latency (first step →
+// completion) and in-flight depth are tracked separately, which is what
+// exhibits the whole latency–throughput curve rather than its saturated
+// end. The run is fully deterministic either way: the same protocol,
+// configuration and seed produce the same events, the same latencies and
+// the same history.
 //
 // Load runs default to the kernel's load mode (tracing and payload
 // retention disabled) so memory stays flat over millions of events; set
@@ -64,6 +70,18 @@ type Config struct {
 	// KeepTrace retains the full kernel trace and payload registry
 	// instead of running in load mode.
 	KeepTrace bool
+	// Rate > 0 switches the run to open loop: Txns transactions are
+	// injected at instants drawn from an arrival process of Rate
+	// transactions per virtual second (Poisson by default), round-robin
+	// across the clients, regardless of completions. Pipeline is ignored:
+	// arrivals queue without bound at their client.
+	Rate float64
+	// DeterministicArrivals selects the fixed-interval arrival process
+	// instead of Poisson (open loop only).
+	DeterministicArrivals bool
+	// NoTimeLeap disables the Network scheduler's time-leap, restoring
+	// the spin-parked-servers behaviour. Comparison/debugging only.
+	NoTimeLeap bool
 }
 
 func (c *Config) defaults() {
@@ -114,11 +132,23 @@ type Report struct {
 	AbortRate float64
 
 	// Latency summarizes committed-transaction latency (virtual µs),
-	// split by transaction class, plus mean read-round count.
+	// split by transaction class, plus mean read-round count. In open
+	// loop it is end-to-end: measured from the scheduled arrival instant,
+	// so client-side queueing counts against it.
 	Latency   stats.Summary
 	ROT       stats.Summary
 	Write     stats.Summary
 	ROTRounds float64
+
+	// Open-loop additions (populated when Config.Rate > 0).
+	// OfferedRate echoes the configured arrival rate (txn per virtual
+	// second); QueueDelay is scheduled arrival → the client's first step
+	// of the transaction; Service is first step → completion; InFlight
+	// samples the total outstanding transactions at every injection.
+	OfferedRate float64
+	QueueDelay  stats.Summary
+	Service     stats.Summary
+	InFlight    stats.Summary
 
 	// History holds the completed operations when Config.RecordHistory
 	// was set (nil otherwise), with the deployment's initial values, ready
@@ -131,7 +161,8 @@ func (r *Report) String() string {
 		r.Protocol, r.Clients, r.Committed, r.Issued, r.Throughput, r.Latency.P50, r.Latency.P99)
 }
 
-// Run deploys p and drives a closed-loop load run per cfg.
+// Run deploys p and drives a load run per cfg (closed loop by default,
+// open loop when cfg.Rate > 0).
 func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 	cfg.defaults()
 	d := protocol.Deploy(p, protocol.Config{
@@ -152,45 +183,150 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 	return RunOn(d, cfg)
 }
 
-// RunOn drives a closed-loop load run against an existing, initialized
-// deployment. The deployment must have at least cfg.Clients workload
-// clients.
+// run carries the shared machinery of both load regimes.
+type run struct {
+	d    *protocol.Deployment
+	cfg  Config
+	rep  *Report
+	cls  []protocol.Client
+	gens []*workload.Generator
+
+	lat, rot, wr *stats.Collector
+	queue, svc   *stats.Collector
+	rounds, nROT int
+	// injectAt maps a transaction to its scheduled open-loop arrival
+	// instant (nil in closed loop). Entries are dropped on collection so
+	// memory stays flat over long runs.
+	injectAt map[model.TxnID]int64
+}
+
+func newRun(d *protocol.Deployment, cfg Config) *run {
+	r := &run{
+		d: d, cfg: cfg,
+		rep:   &Report{Protocol: d.Proto.Name(), Clients: cfg.Clients, Pipeline: cfg.Pipeline},
+		cls:   make([]protocol.Client, cfg.Clients),
+		gens:  make([]*workload.Generator, cfg.Clients),
+		lat:   stats.NewCollector(),
+		rot:   stats.NewCollector(),
+		wr:    stats.NewCollector(),
+		queue: stats.NewCollector(),
+		svc:   stats.NewCollector(),
+	}
+	objects := d.Place.Objects()
+	// Independent deterministic generator stream per client, so the
+	// workload each client submits does not depend on scheduling.
+	for i := 0; i < cfg.Clients; i++ {
+		r.cls[i] = d.Client(d.Clients[i])
+		r.gens[i] = workload.NewGenerator(cfg.Mix, objects, cfg.Seed*1_000_003+int64(i)*7919+11)
+	}
+	if cfg.RecordHistory {
+		r.rep.History = history.New(d.Initials())
+	}
+	return r
+}
+
+func (r *run) nextTxn(i int) *model.Txn {
+	t := r.gens[i].Next(string(r.d.Clients[i]))
+	if !t.IsReadOnly() && !r.d.Proto.Claims().MultiWriteTxn {
+		t = r.gens[i].NextSingleWrite(string(r.d.Clients[i]))
+	}
+	return t
+}
+
+// collect drains finished transactions from every client into the report.
+func (r *run) collect() {
+	for _, cl := range r.cls {
+		for _, res := range cl.TakeFinished() {
+			inject, open := int64(0), false
+			if r.injectAt != nil {
+				if at, found := r.injectAt[res.Txn.ID]; found {
+					inject, open = at, true
+					delete(r.injectAt, res.Txn.ID)
+				}
+			}
+			if !res.OK() {
+				r.rep.Rejected++
+				continue
+			}
+			r.rep.Committed++
+			l := res.Completed - res.Invoked
+			if open {
+				// End-to-end from the scheduled arrival; the split
+				// into queueing and service goes to the dedicated
+				// collectors.
+				r.queue.Add(res.Invoked - inject)
+				r.svc.Add(l)
+				l = res.Completed - inject
+			}
+			r.lat.Add(l)
+			if res.Txn.IsReadOnly() {
+				r.rot.Add(l)
+				r.rounds += res.Rounds
+				r.nROT++
+			} else {
+				r.wr.Add(l)
+			}
+			if r.rep.History != nil {
+				r.rep.History.AddResult(res)
+			}
+		}
+	}
+}
+
+// finish summarizes the run into the report.
+func (r *run) finish(start sim.Time) *Report {
+	rep := r.rep
+	rep.Duration = r.d.Kernel.Now() - start
+	for _, cl := range r.cls {
+		rep.Incomplete += cl.Outstanding()
+	}
+	rep.Latency = r.lat.Summarize()
+	rep.ROT = r.rot.Summarize()
+	rep.Write = r.wr.Summarize()
+	rep.QueueDelay = r.queue.Summarize()
+	rep.Service = r.svc.Summarize()
+	if r.nROT > 0 {
+		rep.ROTRounds = float64(r.rounds) / float64(r.nROT)
+	}
+	if rep.Duration > 0 {
+		rep.Throughput = float64(rep.Committed) / (float64(rep.Duration) / 1e6)
+	}
+	if rep.Issued > 0 {
+		rep.AbortRate = float64(rep.Rejected) / float64(rep.Issued)
+	}
+	return rep
+}
+
+// RunOn drives a load run against an existing, initialized deployment.
+// The deployment must have at least cfg.Clients workload clients.
 func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
 	cfg.defaults()
 	if len(d.Clients) < cfg.Clients {
 		return nil, fmt.Errorf("driver: deployment has %d clients, need %d", len(d.Clients), cfg.Clients)
 	}
-	rep := &Report{Protocol: d.Proto.Name(), Clients: cfg.Clients, Pipeline: cfg.Pipeline}
-	multiWrite := d.Proto.Claims().MultiWriteTxn
-	objects := d.Place.Objects()
+	r := newRun(d, cfg)
+	if cfg.Rate > 0 {
+		return r.runOpen()
+	}
+	return r.runClosed()
+}
 
-	// Independent deterministic generator stream per client, so the
-	// workload each client submits does not depend on scheduling.
-	cls := make([]protocol.Client, cfg.Clients)
-	gens := make([]*workload.Generator, cfg.Clients)
+// runClosed keeps every client topped up to its pipeline depth.
+func (r *run) runClosed() (*Report, error) {
+	d, cfg, rep := r.d, r.cfg, r.rep
 	quota := make([]int, cfg.Clients)
 	issued := make([]int, cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
-		cls[i] = d.Client(d.Clients[i])
-		gens[i] = workload.NewGenerator(cfg.Mix, objects, cfg.Seed*1_000_003+int64(i)*7919+11)
 		quota[i] = cfg.Txns / cfg.Clients
 		if i < cfg.Txns%cfg.Clients {
 			quota[i]++
 		}
 	}
-
-	nextTxn := func(i int) *model.Txn {
-		t := gens[i].Next(string(d.Clients[i]))
-		if !t.IsReadOnly() && !multiWrite {
-			t = gens[i].NextSingleWrite(string(d.Clients[i]))
-		}
-		return t
-	}
 	// refill tops every client up to its pipeline depth (closed loop).
 	refill := func() {
-		for i, cl := range cls {
+		for i, cl := range r.cls {
 			for issued[i] < quota[i] && cl.Outstanding() < cfg.Pipeline {
-				d.Invoke(d.Clients[i], nextTxn(i))
+				d.Invoke(d.Clients[i], r.nextTxn(i))
 				issued[i]++
 				rep.Issued++
 			}
@@ -199,7 +335,7 @@ func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
 	// needRefill is the scheduler stop predicate: hand control back to
 	// the driver the moment some client has spare pipeline capacity.
 	needRefill := func() bool {
-		for i, cl := range cls {
+		for i, cl := range r.cls {
 			if issued[i] < quota[i] && cl.Outstanding() < cfg.Pipeline {
 				return true
 			}
@@ -207,44 +343,13 @@ func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
 		return false
 	}
 
-	lat := stats.NewCollector()
-	rot := stats.NewCollector()
-	wr := stats.NewCollector()
-	rounds, nROT := 0, 0
-	if cfg.RecordHistory {
-		rep.History = history.New(d.Initials())
-	}
-	collect := func() {
-		for _, cl := range cls {
-			for _, res := range cl.TakeFinished() {
-				if !res.OK() {
-					rep.Rejected++
-					continue
-				}
-				rep.Committed++
-				l := res.Completed - res.Invoked
-				lat.Add(l)
-				if res.Txn.IsReadOnly() {
-					rot.Add(l)
-					rounds += res.Rounds
-					nROT++
-				} else {
-					wr.Add(l)
-				}
-				if rep.History != nil {
-					rep.History.AddResult(res)
-				}
-			}
-		}
-	}
-
-	sched := &sim.Network{}
+	sched := &sim.Network{NoTimeLeap: cfg.NoTimeLeap}
 	start := d.Kernel.Now()
 	for {
 		refill()
 		n := sim.Run(d.Kernel, sched, func(*sim.Kernel) bool { return needRefill() }, cfg.MaxEvents-rep.Events)
 		rep.Events += n
-		collect()
+		r.collect()
 		if needRefill() && rep.Events < cfg.MaxEvents {
 			continue // a client freed up: top it up and keep going
 		}
@@ -254,23 +359,51 @@ func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
 			break
 		}
 	}
-	collect()
-	rep.Duration = d.Kernel.Now() - start
+	r.collect()
+	return r.finish(start), nil
+}
 
-	for _, cl := range cls {
-		rep.Incomplete += cl.Outstanding()
+// runOpen injects transactions at the arrival process's instants,
+// regardless of completions. The scheduler runs with its horizon set to
+// the next arrival so virtual time never leaps past an injection; at the
+// horizon the driver advances the clock to the exact scheduled instant
+// and invokes the transaction at the next client round-robin.
+func (r *run) runOpen() (*Report, error) {
+	d, cfg, rep := r.d, r.cfg, r.rep
+	rep.OfferedRate = cfg.Rate
+	r.injectAt = make(map[model.TxnID]int64, cfg.Clients*4)
+	inFlight := stats.NewCollector()
+
+	start := d.Kernel.Now()
+	var arr sim.ArrivalProcess
+	if cfg.DeterministicArrivals {
+		arr = sim.NewUniformArrivals(cfg.Rate, start)
+	} else {
+		arr = sim.NewPoissonArrivals(cfg.Rate, cfg.Seed*999_983+77, start)
 	}
-	rep.Latency = lat.Summarize()
-	rep.ROT = rot.Summarize()
-	rep.Write = wr.Summarize()
-	if nROT > 0 {
-		rep.ROTRounds = float64(rounds) / float64(nROT)
+
+	sched := &sim.Network{NoTimeLeap: cfg.NoTimeLeap}
+	for injected := 0; injected < cfg.Txns && rep.Events < cfg.MaxEvents; injected++ {
+		at := arr.Next()
+		// Run everything scheduled strictly before the arrival.
+		sched.Horizon = at
+		rep.Events += sim.Run(d.Kernel, sched, nil, cfg.MaxEvents-rep.Events)
+		r.collect()
+		d.Kernel.AdvanceTo(at)
+		i := injected % cfg.Clients
+		tid := d.Invoke(d.Clients[i], r.nextTxn(i))
+		r.injectAt[tid] = int64(at)
+		rep.Issued++
+		depth := 0
+		for _, cl := range r.cls {
+			depth += cl.Outstanding()
+		}
+		inFlight.Add(int64(depth))
 	}
-	if rep.Duration > 0 {
-		rep.Throughput = float64(rep.Committed) / (float64(rep.Duration) / 1e6)
-	}
-	if rep.Issued > 0 {
-		rep.AbortRate = float64(rep.Rejected) / float64(rep.Issued)
-	}
-	return rep, nil
+	// Drain: no more arrivals, run until every client is idle.
+	sched.Horizon = 0
+	rep.Events += sim.Run(d.Kernel, sched, nil, cfg.MaxEvents-rep.Events)
+	r.collect()
+	r.rep.InFlight = inFlight.Summarize()
+	return r.finish(start), nil
 }

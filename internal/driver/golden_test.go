@@ -1,0 +1,75 @@
+package driver
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/protocols/cure"
+	"repro/internal/protocols/spanner"
+	"repro/internal/workload"
+)
+
+// diffLines locates the first differing line of two texts for a readable
+// failure message.
+func diffLines(t *testing.T, what, a, b string) {
+	t.Helper()
+	if a == b {
+		return
+	}
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			t.Fatalf("%s diverged at line %d:\n  run 1: %s\n  run 2: %s", what, i+1, la[i], lb[i])
+		}
+	}
+	t.Fatalf("%s diverged in length: %d vs %d lines", what, len(la), len(lb))
+}
+
+// TestReportByteIdentical is the determinism golden test: the same seed
+// and configuration must produce a byte-identical driver.Report (JSON)
+// and history across runs, in both load regimes. Any map-iteration or
+// scheduling nondeterminism that creeps into the stack shows up here as
+// a diff.
+func TestReportByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		p    func() protocol.Protocol
+		cfg  Config
+	}{
+		{"closed-cure", func() protocol.Protocol { return cure.New() },
+			Config{Clients: 8, Txns: 48, Mix: workload.Balanced(), Seed: 11, RecordHistory: true}},
+		{"open-cure", func() protocol.Protocol { return cure.New() },
+			Config{Clients: 8, Txns: 40, Mix: workload.ReadHeavy(), Seed: 11, Rate: 900, RecordHistory: true}},
+		{"open-spanner-uniform", func() protocol.Protocol { return spanner.New() },
+			Config{Clients: 4, Txns: 30, Mix: workload.Balanced(), Seed: 23, Rate: 300, DeterministicArrivals: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (string, string) {
+				rep, err := Run(tc.p(), tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				js, err := json.MarshalIndent(rep, "", " ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				hist := ""
+				if rep.History != nil {
+					hist = rep.History.String()
+				}
+				return string(js), hist
+			}
+			j1, h1 := run()
+			j2, h2 := run()
+			diffLines(t, "report JSON", j1, j2)
+			diffLines(t, "history", h1, h2)
+		})
+	}
+}

@@ -46,3 +46,9 @@ func TestSnapshotCoversCausalPast(t *testing.T) {
 		t.Fatalf("monotone reads violated: %v", res2.Values)
 	}
 }
+
+// TestLoadConformance certifies concurrent closed- and open-loop driver
+// sweeps at the claimed consistency level.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, contrarian.New(), ptest.Expect{})
+}

@@ -66,3 +66,9 @@ func TestRejectsMultiWrite(t *testing.T) {
 		t.Fatal("multi-object write accepted by cops")
 	}
 }
+
+// TestLoadConformance certifies concurrent closed- and open-loop driver
+// sweeps at the claimed consistency level.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, cops.New(), ptest.Expect{})
+}

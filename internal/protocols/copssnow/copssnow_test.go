@@ -112,3 +112,9 @@ func TestRejectsMultiWrite(t *testing.T) {
 		t.Fatal("multi-object write accepted by copssnow")
 	}
 }
+
+// TestLoadConformance certifies concurrent closed- and open-loop driver
+// sweeps at the claimed consistency level.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, copssnow.New(), ptest.Expect{})
+}

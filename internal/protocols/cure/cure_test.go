@@ -83,3 +83,75 @@ func TestWriterReadsOwnWritesImmediately(t *testing.T) {
 		t.Fatalf("writer misses own writes: %v", res)
 	}
 }
+
+// TestLoadConformance certifies concurrent closed- and open-loop driver
+// sweeps at the claimed consistency level.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, cure.New(), ptest.Expect{})
+}
+
+// TestConcurrentOppositeOrderCommitsStayAtomic pins the write-atomicity
+// fix the concurrent harness exposed: two multi-server write transactions
+// whose prepares and commits are delivered in OPPOSITE orders at the two
+// servers (A first at s0, B first at s1) must never be observed
+// half-visible — a reader fetching X0 from s0 and X1 from s1 at a
+// snapshot covering both gets one transaction's pair, not a mix. The fix
+// reads by the uniform vector order (store.SnapshotReadVec) instead of
+// per-server install order.
+func TestConcurrentOppositeOrderCommitsStayAtomic(t *testing.T) {
+	d := ptest.Deploy(t, cure.New(), ptest.Expect{}, 163)
+	d.Invoke("c0", model.NewWriteOnly(model.TxnID{},
+		model.Write{Object: "X0", Value: "a0"}, model.Write{Object: "X1", Value: "a1"}))
+	d.Invoke("c1", model.NewWriteOnly(model.TxnID{},
+		model.Write{Object: "X0", Value: "b0"}, model.Write{Object: "X1", Value: "b1"}))
+	d.Kernel.StepProcess("c0") // prepares out
+	d.Kernel.StepProcess("c1")
+
+	// deliverStep hands every in-transit message on one link to its
+	// destination and steps it, so per-link delivery order is exactly
+	// the order of these calls.
+	deliverStep := func(from, to sim.ProcessID) {
+		t.Helper()
+		for _, m := range d.Kernel.InTransitOn(sim.Link{From: from, To: to}) {
+			d.Kernel.Deliver(m.ID)
+			d.Kernel.StepProcess(to)
+		}
+	}
+
+	// Prepares install in opposite orders: A then B at s0, B then A at s1.
+	deliverStep("c0", "s0")
+	deliverStep("c1", "s0")
+	deliverStep("c1", "s1")
+	deliverStep("c0", "s1")
+	// Acks back; each client sends its commits.
+	deliverStep("s0", "c0")
+	deliverStep("s1", "c0")
+	deliverStep("s0", "c1")
+	deliverStep("s1", "c1")
+	// Commits also land in opposite orders.
+	deliverStep("c0", "s0")
+	deliverStep("c1", "s0")
+	deliverStep("c1", "s1")
+	deliverStep("c0", "s1")
+	if cl := d.Client("c0"); cl.Busy() {
+		// Commit acks are still in transit; finish both writers.
+		deliverStep("s0", "c0")
+		deliverStep("s1", "c0")
+		deliverStep("s0", "c1")
+		deliverStep("s1", "c1")
+	}
+
+	// Let stabilization gossip advance the GSV over both commits, then
+	// read across the servers.
+	d.Settle(400_000)
+	res := d.RunTxn("c2", model.NewReadOnly(model.TxnID{}, "X0", "X1"), 400_000)
+	if !res.OK() {
+		t.Fatalf("cross-server read failed: %v", res)
+	}
+	v0, v1 := res.Value("X0"), res.Value("X1")
+	pairA := v0 == "a0" && v1 == "a1"
+	pairB := v0 == "b0" && v1 == "b1"
+	if !pairA && !pairB {
+		t.Fatalf("half-visible transaction under opposite-order commits: X0=%s X1=%s", v0, v1)
+	}
+}

@@ -86,3 +86,14 @@ func TestWriteIsTwoPhase(t *testing.T) {
 		t.Fatalf("write rounds = %d, want 2", res.Rounds)
 	}
 }
+
+// TestLoadConformance: expected-failing. The model's read protocol
+// ignores the second-round At timestamp, so a reader straddling a
+// multi-server commit can observe half of it under concurrent load; see
+// the ROADMAP item "Eiger fractures atomic visibility under concurrent
+// load". The suite skips when the fracture manifests.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, eiger.New(), ptest.Expect{
+		FractureNote: "ROADMAP: Eiger fractures atomic visibility under concurrent load — second-round read-at-time not implemented",
+	})
+}

@@ -70,3 +70,10 @@ func TestHistoryStaysCausalBecauseReadsAreStale(t *testing.T) {
 		t.Fatalf("reader saw non-initial values: %v", r.Values)
 	}
 }
+
+// TestLoadConformance: eigerps is a theorem victim — concurrent sweeps must
+// FAIL certification at its claimed level (fast reads are paid for with
+// consistency, exactly as the paper's lower bounds demand).
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, eigerps.New(), ptest.Expect{ViolatesUnderLoad: true})
+}

@@ -83,3 +83,16 @@ func TestInitialsVisible(t *testing.T) {
 		t.Fatalf("initials not visible: %+v", vis)
 	}
 }
+
+// TestLoadConformance: expected-failing at 2 objects per server. The
+// §3.4 sketch has a race akin to eiger's under concurrent multi-server
+// commits; see the ROADMAP item "Eiger fractures atomic visibility under
+// concurrent load" (fatcops is named there). Seed 5 is a configuration
+// where the race is known to manifest and certification is known cheap.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, fatcops.New(), ptest.Expect{
+		ObjectsPerServer: 2,
+		LoadSeeds:        []int64{5},
+		FractureNote:     "ROADMAP: Eiger fractures atomic visibility under concurrent load — fatcops has the same race at 2 objects/server",
+	})
+}

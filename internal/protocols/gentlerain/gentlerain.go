@@ -161,10 +161,29 @@ type server struct {
 func (s *server) ID() sim.ProcessID { return s.id }
 func (s *server) Ready() bool       { return len(s.parked) > 0 }
 
+// WakeAt implements sim.Waker: a read parked on a snapshot ahead of the
+// server clock unparks once the clock's wall time (which tracks virtual
+// time) strictly passes the snapshot's wall component — Snap.Wall+1 is
+// always enough regardless of the logical tie-break.
+func (s *server) WakeAt(now sim.Time) (sim.Time, bool) {
+	var wake sim.Time
+	ok := false
+	for _, d := range s.parked {
+		t := sim.Time(d.Req.Snap.Wall + 1)
+		if !ok || t < wake {
+			wake, ok = t, true
+		}
+	}
+	if ok && wake < now {
+		wake = now
+	}
+	return wake, ok
+}
+
 func (s *server) Clone() sim.Process {
 	c := &server{
 		id: s.id, pl: s.pl, st: s.st.Clone(), hlc: s.hlc.Clone(),
-		known: make(map[sim.ProcessID]vclock.HLCStamp, len(s.known)),
+		known:      make(map[sim.ProcessID]vclock.HLCStamp, len(s.known)),
 		lastGossip: s.lastGossip, initSeq: s.initSeq,
 	}
 	for k, v := range s.known {

@@ -61,3 +61,9 @@ func TestRejectsMultiWrite(t *testing.T) {
 		t.Fatal("multi-object write accepted")
 	}
 }
+
+// TestLoadConformance certifies concurrent closed- and open-loop driver
+// sweeps at the claimed consistency level.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, gentlerain.New(), ptest.Expect{})
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/model"
 	"repro/internal/protocol"
+	"repro/internal/protocols/ptest"
 	"repro/internal/sim"
 )
 
@@ -184,4 +185,11 @@ func TestDroppedWriteDetectedByChecker(t *testing.T) {
 	if v := history.CheckCausal(h); v.OK {
 		t.Fatal("checker accepted the lost-write anomaly")
 	}
+}
+
+// TestLoadConformance: naivefast is a theorem victim — concurrent sweeps
+// must FAIL certification at its claimed level (fast reads are paid for
+// with consistency, exactly as the paper's lower bounds demand).
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, New(), ptest.Expect{ViolatesUnderLoad: true})
 }

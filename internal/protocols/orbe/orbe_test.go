@@ -84,3 +84,9 @@ func TestParkPathServesWhenCounterCatchesUp(t *testing.T) {
 		t.Fatal("parked read never served after counter caught up")
 	}
 }
+
+// TestLoadConformance certifies concurrent closed- and open-loop driver
+// sweeps at the claimed consistency level.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, New(), ptest.Expect{})
+}

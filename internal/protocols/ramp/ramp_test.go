@@ -103,3 +103,9 @@ func TestReadAtomicityUnderRandomSchedules(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadConformance certifies concurrent closed- and open-loop driver
+// sweeps at the claimed consistency level.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, ramp.New(), ptest.Expect{})
+}

@@ -168,6 +168,35 @@ func (s *server) ID() sim.ProcessID { return s.id }
 // advances virtual time, which advances its safe time.
 func (s *server) Ready() bool { return len(s.parked) > 0 }
 
+// WakeAt implements sim.Waker: the earliest instant at which some parked
+// read becomes serveable by the passage of time alone (safe time is
+// now+skew-ε when nothing is prepared below the read timestamp). Reads
+// blocked behind a prepared-but-uncommitted transaction need the commit
+// delivery, not time, and do not contribute a wake instant.
+func (s *server) WakeAt(now sim.Time) (sim.Time, bool) {
+	minPending := int64(1)<<62 - 1
+	for _, ts := range s.pending {
+		if ts-1 < minPending {
+			minPending = ts - 1
+		}
+	}
+	var wake sim.Time
+	ok := false
+	for _, d := range s.parked {
+		if d.Req.TS > minPending {
+			continue // a pending prepare caps safe time below this read
+		}
+		t := sim.Time(d.Req.TS - s.skew + Epsilon)
+		if !ok || t < wake {
+			wake, ok = t, true
+		}
+	}
+	if ok && wake < now {
+		wake = now
+	}
+	return wake, ok
+}
+
 func (s *server) Clone() sim.Process {
 	c := &server{
 		id: s.id, pl: s.pl, st: s.st.Clone(), skew: s.skew, lastTS: s.lastTS,
@@ -290,6 +319,26 @@ func (c *client) Clone() sim.Process {
 // Ready: commit-wait needs steps to observe time passing.
 func (c *client) Ready() bool {
 	return c.Busy() && (!c.Started() || c.phase == commitWait)
+}
+
+// WakeAt implements sim.Waker: a fresh transaction is useful immediately;
+// commit-wait completes once TT.now().earliest passes the commit
+// timestamp, i.e. at commitTS - skew + ε + 1.
+func (c *client) WakeAt(now sim.Time) (sim.Time, bool) {
+	if !c.Busy() {
+		return 0, false
+	}
+	if !c.Started() {
+		return now, true
+	}
+	if c.phase == commitWait {
+		t := sim.Time(c.commitTS - c.skew + Epsilon + 1)
+		if t < now {
+			t = now
+		}
+		return t, true
+	}
+	return 0, false
 }
 
 func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {

@@ -112,3 +112,9 @@ func TestReadsNeverReturnMixedTransaction(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadConformance certifies concurrent closed- and open-loop driver
+// sweeps at the claimed consistency level.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, spanner.New(), ptest.Expect{})
+}

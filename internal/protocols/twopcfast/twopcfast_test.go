@@ -90,3 +90,10 @@ func TestRejectsReadWrite(t *testing.T) {
 		t.Fatal("read-write transaction unexpectedly accepted")
 	}
 }
+
+// TestLoadConformance: twopcfast is a theorem victim — concurrent sweeps must
+// FAIL certification at its claimed level (fast reads are paid for with
+// consistency, exactly as the paper's lower bounds demand).
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, twopcfast.New(), ptest.Expect{ViolatesUnderLoad: true})
+}

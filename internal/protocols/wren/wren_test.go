@@ -107,3 +107,9 @@ func TestWriteIsTwoPhase(t *testing.T) {
 		t.Fatalf("write rounds = %d, want 2", res.Rounds)
 	}
 }
+
+// TestLoadConformance certifies concurrent closed- and open-loop driver
+// sweeps at the claimed consistency level.
+func TestLoadConformance(t *testing.T) {
+	ptest.RunLoad(t, wren.New(), ptest.Expect{})
+}

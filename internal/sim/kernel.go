@@ -34,10 +34,16 @@ const StepCost Time = 1
 // counterpart of a "configuration" in the paper; Snapshot produces the
 // deep copies the proof's indistinguishability arguments manipulate.
 type Kernel struct {
-	now     Time
-	procs   map[ProcessID]Process
-	order   []ProcessID // sorted IDs, for deterministic iteration
-	transit []*Message  // outcome buffers: sent, not yet delivered (send order)
+	now   Time
+	procs map[ProcessID]Process
+	order []ProcessID // sorted IDs, for deterministic iteration
+	// transit is the outcome buffers in send order. Delivered/dropped
+	// messages are only marked gone (lazy deletion) and physically removed
+	// by compactTransit once they outnumber the live ones, so delivery
+	// never pays an O(in-flight) scan+shift. byID is the primary lookup
+	// structure: every live in-transit message, keyed by message ID.
+	transit []*Message
+	byID    map[int64]*Message
 	inbox   map[ProcessID][]*Message
 	// pendingInboxes counts processes with a non-empty income buffer, so
 	// schedulers can skip the per-process scan when nothing is pending.
@@ -73,6 +79,7 @@ func NewKernel(seed int64, lat LatencyModel) *Kernel {
 	}
 	return &Kernel{
 		procs:        make(map[ProcessID]Process),
+		byID:         make(map[int64]*Message),
 		inbox:        make(map[ProcessID][]*Message),
 		linkSeq:      make(map[Link]int64),
 		rng:          NewRNG(seed),
@@ -126,8 +133,12 @@ func (k *Kernel) Processes() []ProcessID {
 // InTransit returns the messages currently in outcome buffers, in send
 // order. The returned slice is a copy; the messages are not.
 func (k *Kernel) InTransit() []*Message {
-	out := make([]*Message, len(k.transit))
-	copy(out, k.transit)
+	out := make([]*Message, 0, len(k.byID))
+	for _, m := range k.transit {
+		if !m.gone {
+			out = append(out, m)
+		}
+	}
 	return out
 }
 
@@ -135,7 +146,7 @@ func (k *Kernel) InTransit() []*Message {
 func (k *Kernel) InTransitOn(l Link) []*Message {
 	var out []*Message
 	for _, m := range k.transit {
-		if m.From == l.From && m.To == l.To {
+		if !m.gone && m.From == l.From && m.To == l.To {
 			out = append(out, m)
 		}
 	}
@@ -145,7 +156,7 @@ func (k *Kernel) InTransitOn(l Link) []*Message {
 // FindInTransit locates an in-transit message by link and sequence number.
 func (k *Kernel) FindInTransit(l Link, seq int64) *Message {
 	for _, m := range k.transit {
-		if m.From == l.From && m.To == l.To && m.LinkSeq == seq {
+		if !m.gone && m.From == l.From && m.To == l.To && m.LinkSeq == seq {
 			return m
 		}
 	}
@@ -163,7 +174,7 @@ func (k *Kernel) Inbox(pid ProcessID) []*Message {
 // consumption and no process is Ready. It corresponds to the paper's
 // quiescent configurations once all invoked transactions have completed.
 func (k *Kernel) Quiescent() bool {
-	if len(k.transit) > 0 || k.pendingInboxes > 0 {
+	if len(k.byID) > 0 || k.pendingInboxes > 0 {
 		return false
 	}
 	for _, id := range k.order {
@@ -176,28 +187,58 @@ func (k *Kernel) Quiescent() bool {
 
 // Deliver moves the identified in-transit message into the destination's
 // income buffer. Virtual time advances to at least the message's ReadyAt.
-// It panics if the message is not in transit (scheduler bug).
+// It panics if the message is not in transit (scheduler bug). Removal is
+// by ID index plus lazy slice deletion: O(1) amortized, matching the
+// arrival heap's O(log n) selection.
 func (k *Kernel) Deliver(msgID int64) *Message {
-	for i, m := range k.transit {
-		if m.ID == msgID {
-			k.transit = append(k.transit[:i], k.transit[i+1:]...)
-			m.gone = true
-			if m.ReadyAt > k.now {
-				k.now = m.ReadyAt
-			}
-			m.DeliveredAt = k.now
-			if len(k.inbox[m.To]) == 0 {
-				k.pendingInboxes++
-			}
-			k.inbox[m.To] = append(k.inbox[m.To], m)
-			k.record(Event{
-				Kind: EvDeliver,
-				Msgs: []MsgRef{refOf(m)},
-			})
-			return m
+	m, ok := k.byID[msgID]
+	if !ok {
+		panic(fmt.Sprintf("sim: Deliver(%d): message not in transit", msgID))
+	}
+	delete(k.byID, msgID)
+	m.gone = true
+	k.compactTransit()
+	if m.ReadyAt > k.now {
+		k.now = m.ReadyAt
+	}
+	m.DeliveredAt = k.now
+	if len(k.inbox[m.To]) == 0 {
+		k.pendingInboxes++
+	}
+	k.inbox[m.To] = append(k.inbox[m.To], m)
+	k.record(Event{
+		Kind: EvDeliver,
+		Msgs: []MsgRef{refOf(m)},
+	})
+	return m
+}
+
+// compactTransit physically removes gone messages from the send-order
+// slice once they outnumber the live ones, keeping deletion amortized
+// O(1) and iteration proportional to the live count.
+func (k *Kernel) compactTransit() {
+	if len(k.transit) < 32 || len(k.transit) < 2*len(k.byID) {
+		return
+	}
+	live := k.transit[:0]
+	for _, m := range k.transit {
+		if !m.gone {
+			live = append(live, m)
 		}
 	}
-	panic(fmt.Sprintf("sim: Deliver(%d): message not in transit", msgID))
+	for i := len(live); i < len(k.transit); i++ {
+		k.transit[i] = nil
+	}
+	k.transit = live
+}
+
+// AdvanceTo jumps virtual time forward to t (no-op when t ≤ now). The
+// Network scheduler's time-leap and the open-loop driver use it to skip
+// idle stretches instead of spinning 1µs steps through them.
+func (k *Kernel) AdvanceTo(t Time) {
+	if t > k.now {
+		k.now = t
+	}
 }
 
 // StepProcess executes one computation step of pid: the process consumes
@@ -234,6 +275,7 @@ func (k *Kernel) StepProcess(pid ProcessID) []*Message {
 		}
 		m.ReadyAt = k.now + k.latency(l, k.rng)
 		k.transit = append(k.transit, m)
+		k.byID[m.ID] = m
 		k.pushArrival(m)
 		if k.keepPayloads {
 			k.sent[m.ID] = m.Payload
@@ -291,6 +333,7 @@ func (k *Kernel) Snapshot() *Kernel {
 		now:            k.now,
 		procs:          make(map[ProcessID]Process, len(k.procs)),
 		order:          append([]ProcessID(nil), k.order...),
+		byID:           make(map[int64]*Message, len(k.byID)),
 		inbox:          make(map[ProcessID][]*Message, len(k.inbox)),
 		pendingInboxes: k.pendingInboxes,
 		nextID:         k.nextID,
@@ -309,9 +352,14 @@ func (k *Kernel) Snapshot() *Kernel {
 	for id, p := range k.procs {
 		c.procs[id] = p.Clone()
 	}
-	c.transit = make([]*Message, len(k.transit))
-	for i, m := range k.transit {
-		c.transit[i] = m.clone()
+	c.transit = make([]*Message, 0, len(k.byID))
+	for _, m := range k.transit {
+		if m.gone {
+			continue
+		}
+		cp := m.clone()
+		c.transit = append(c.transit, cp)
+		c.byID[cp.ID] = cp
 	}
 	c.rebuildArrivals()
 	for id, msgs := range k.inbox {
@@ -335,13 +383,13 @@ func (k *Kernel) Snapshot() *Kernel {
 // failure-injection tests, which verify the checkers catch the resulting
 // anomalies.
 func (k *Kernel) DropInTransit(msgID int64) bool {
-	for i, m := range k.transit {
-		if m.ID == msgID {
-			k.transit = append(k.transit[:i], k.transit[i+1:]...)
-			m.gone = true
-			k.Annotate(EvMark, m.From, fmt.Sprintf("dropped %s", m))
-			return true
-		}
+	m, ok := k.byID[msgID]
+	if !ok {
+		return false
 	}
-	return false
+	delete(k.byID, msgID)
+	m.gone = true
+	k.compactTransit()
+	k.Annotate(EvMark, m.From, fmt.Sprintf("dropped %s", m))
+	return true
 }

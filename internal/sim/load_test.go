@@ -29,6 +29,9 @@ func TestNetworkHeapMatchesScan(t *testing.T) {
 	for i := 0; i < 10_000; i++ {
 		var best *Message
 		for _, m := range k.transit {
+			if m.gone {
+				continue
+			}
 			if best == nil || m.ReadyAt < best.ReadyAt || (m.ReadyAt == best.ReadyAt && m.ID < best.ID) {
 				best = m
 			}

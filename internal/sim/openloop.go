@@ -1,0 +1,66 @@
+package sim
+
+import "math"
+
+// ArrivalProcess generates a deterministic, nondecreasing sequence of
+// virtual-time instants at which an open-loop load generator injects
+// transactions. Unlike a closed loop, the process never waits for
+// completions: arrivals keep coming at the offered rate whether or not
+// the system has finished the previous ones, which is what exposes the
+// queueing-delay side of the latency–throughput curve.
+type ArrivalProcess interface {
+	// Next returns the next arrival instant. Successive calls are
+	// nondecreasing.
+	Next() Time
+}
+
+// UniformArrivals is a deterministic-rate process: arrivals exactly
+// 1e6/rate virtual microseconds apart. The phase accumulates in floating
+// point so non-integer periods do not drift.
+type UniformArrivals struct {
+	period float64
+	at     float64
+}
+
+// NewUniformArrivals returns a fixed-rate process of rate arrivals per
+// virtual second, starting one period after start. It panics on a
+// non-positive rate.
+func NewUniformArrivals(rate float64, start Time) *UniformArrivals {
+	if rate <= 0 {
+		panic("sim: NewUniformArrivals with non-positive rate")
+	}
+	return &UniformArrivals{period: 1e6 / rate, at: float64(start)}
+}
+
+// Next implements ArrivalProcess.
+func (u *UniformArrivals) Next() Time {
+	u.at += u.period
+	return Time(u.at)
+}
+
+// PoissonArrivals is a Poisson process of the given rate: inter-arrival
+// gaps are exponentially distributed, sampled from a dedicated seeded RNG
+// stream so the sequence is independent of everything else in the run and
+// reproducible from the seed alone.
+type PoissonArrivals struct {
+	rate float64
+	rng  *RNG
+	at   float64
+}
+
+// NewPoissonArrivals returns a Poisson process of rate arrivals per
+// virtual second starting at start. It panics on a non-positive rate.
+func NewPoissonArrivals(rate float64, seed int64, start Time) *PoissonArrivals {
+	if rate <= 0 {
+		panic("sim: NewPoissonArrivals with non-positive rate")
+	}
+	return &PoissonArrivals{rate: rate, rng: NewRNG(seed), at: float64(start)}
+}
+
+// Next implements ArrivalProcess: inverse-CDF exponential sampling.
+func (p *PoissonArrivals) Next() Time {
+	u := p.rng.Float64() // in [0, 1): 1-u is in (0, 1], so the log is finite
+	gap := -math.Log(1-u) * 1e6 / p.rate
+	p.at += gap
+	return Time(p.at)
+}

@@ -106,7 +106,7 @@ func (r *Restriction) AllowsMsg(m *Message) bool {
 func enabled(k *Kernel, r *Restriction) []Action {
 	var acts []Action
 	for _, m := range k.transit {
-		if r.AllowsMsg(m) {
+		if !m.gone && r.AllowsMsg(m) {
 			acts = append(acts, Action{Kind: ActDeliver, Msg: m.ID})
 		}
 	}
@@ -158,7 +158,7 @@ func (s *RoundRobin) Next(k *Kernel) (Action, bool) {
 		return Action{Kind: ActStep, Proc: id}, true
 	}
 	for _, m := range k.transit {
-		if s.Only.AllowsMsg(m) {
+		if !m.gone && s.Only.AllowsMsg(m) {
 			return Action{Kind: ActDeliver, Msg: m.ID}, true
 		}
 	}
@@ -189,14 +189,42 @@ func (s *Random) Next(k *Kernel) (Action, bool) {
 	return acts[s.Rng.Intn(len(acts))], true
 }
 
+// Waker is optionally implemented by processes whose Ready() may be
+// waiting only for virtual time to pass (reads parked behind a safe-time
+// rule, commit-wait). WakeAt returns the earliest virtual instant at
+// which an empty-inbox step would make progress; ok == false means no
+// purely time-driven work is pending — progress needs a message delivery
+// first, so stepping the process before one arrives is a no-op. The
+// Network scheduler uses it to leap the clock to the wake instant instead
+// of spinning 1µs Ready steps through the idle stretch.
+type Waker interface {
+	WakeAt(now Time) (wake Time, ok bool)
+}
+
 // Network delivers messages in earliest-ReadyAt order and steps any process
 // with pending input immediately, modelling a well-behaved network for the
 // latency and throughput experiments (no adversarial reordering beyond
 // sampled latency). Unrestricted, it finds the next arrival through the
 // kernel's indexed min-arrival heap instead of rescanning every in-transit
 // message, which keeps per-event cost logarithmic under concurrent load.
+//
+// When nobody can act at the current instant, the scheduler leaps virtual
+// time to the earliest useful one: the next message arrival or the
+// earliest wake time a parked process declares via Waker. NoTimeLeap
+// restores the pre-leap behaviour (spin parked Ready processes 1µs per
+// step), kept for measuring what the leap saves.
 type Network struct {
 	Only *Restriction
+	// NoTimeLeap disables the time-leap (comparison/debugging only).
+	NoTimeLeap bool
+	// Horizon, when > 0, stops the scheduler at that virtual instant:
+	// actions run only while now is strictly before the horizon, and an
+	// idle-time advance (future delivery or wake leap) that would land at
+	// or past it returns false instead, handing control back to the
+	// driver (which injects open-loop arrivals at the horizon instant).
+	// The gate applies identically with and without the time-leap, so
+	// spin and leap runs inject arrivals at the same instants.
+	Horizon Time
 }
 
 // nextArrival returns the earliest-(ReadyAt, ID) in-transit message under
@@ -208,7 +236,7 @@ func nextArrival(k *Kernel, r *Restriction) *Message {
 	}
 	var best *Message
 	for _, m := range k.transit {
-		if !r.AllowsMsg(m) {
+		if m.gone || !r.AllowsMsg(m) {
 			continue
 		}
 		if best == nil || m.ReadyAt < best.ReadyAt || (m.ReadyAt == best.ReadyAt && m.ID < best.ID) {
@@ -223,8 +251,12 @@ func nextArrival(k *Kernel, r *Restriction) *Message {
 // now), let Ready processes act at the current instant (a freshly invoked
 // client sends its first round *now*, it does not wait for unrelated
 // traffic to drain — essential for concurrent closed-loop load), and only
-// when nobody can act now, advance the clock to the next arrival.
+// when nobody can act now, advance the clock to the earliest useful
+// instant — the next arrival or the earliest declared wake time.
 func (s *Network) Next(k *Kernel) (Action, bool) {
+	if s.Horizon > 0 && k.now >= s.Horizon {
+		return Action{}, false
+	}
 	if id, ok := firstPendingInbox(k, s.Only); ok {
 		return Action{Kind: ActStep, Proc: id}, true
 	}
@@ -232,13 +264,48 @@ func (s *Network) Next(k *Kernel) (Action, bool) {
 	if m != nil && m.ReadyAt <= k.now {
 		return Action{Kind: ActDeliver, Msg: m.ID}, true
 	}
+	// Ready processes act at the current instant — except, with the leap
+	// enabled, those that declare (via Waker) that a step would only be
+	// useful at a future instant, or not until a delivery arrives.
+	var wake Time
+	var wakeProc ProcessID
+	haveWake := false
 	for _, id := range k.order {
-		if s.Only.AllowsProc(id) && k.procs[id].Ready() {
-			return Action{Kind: ActStep, Proc: id}, true
+		if !s.Only.AllowsProc(id) || !k.procs[id].Ready() {
+			continue
 		}
+		if !s.NoTimeLeap {
+			if w, isWaker := k.procs[id].(Waker); isWaker {
+				t, useful := w.WakeAt(k.now)
+				if !useful {
+					continue // waiting on a delivery, not on time
+				}
+				if t > k.now {
+					if !haveWake || t < wake {
+						wake, wakeProc, haveWake = t, id, true
+					}
+					continue
+				}
+			}
+		}
+		return Action{Kind: ActStep, Proc: id}, true
 	}
-	if m != nil {
+	// Nobody can act now: leap. Arrivals win ties so the woken process
+	// sees every message due by its wake instant.
+	if m != nil && (!haveWake || m.ReadyAt <= wake) {
+		if s.Horizon > 0 && m.ReadyAt >= s.Horizon {
+			return Action{}, false
+		}
 		return Action{Kind: ActDeliver, Msg: m.ID}, true
+	}
+	if haveWake {
+		if s.Horizon > 0 && wake >= s.Horizon {
+			return Action{}, false
+		}
+		// The step itself costs StepCost, so the process runs at exactly
+		// its wake instant.
+		k.AdvanceTo(wake - StepCost)
+		return Action{Kind: ActStep, Proc: wakeProc}, true
 	}
 	return Action{}, false
 }

@@ -52,6 +52,9 @@ type LatencyReport = core.LatencyReport
 // ThroughputReport is the outcome of a closed-loop throughput run.
 type ThroughputReport = core.ThroughputReport
 
+// LoadCurve is a swept open-loop latency–throughput curve.
+type LoadCurve = core.LoadCurve
+
 // Mix describes a workload.
 type Mix = workload.Mix
 
@@ -141,6 +144,19 @@ func MeasureThroughput(name string, mix Mix, clients, txns int, seed int64) (Thr
 		return ThroughputReport{}, err
 	}
 	return core.MeasureThroughput(p, mix, clients, txns, seed)
+}
+
+// MeasureLoadCurve runs the open-loop latency–throughput curve
+// experiment: the protocol's saturated throughput is estimated
+// closed-loop, then offered load is swept from light load to past
+// saturation, reporting queueing delay and latency per point and the
+// knee of the curve.
+func MeasureLoadCurve(name string, mix Mix, seed int64) (LoadCurve, error) {
+	p, err := Lookup(name)
+	if err != nil {
+		return LoadCurve{}, err
+	}
+	return core.MeasureLoadCurve(p, mix, seed, core.CurveOptions{})
 }
 
 // ReadHeavy is the canonical 95/5 workload mix.
