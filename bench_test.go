@@ -238,6 +238,44 @@ func BenchmarkCausalChecker(b *testing.B) {
 	}
 }
 
+// BenchmarkCheck charts certification cost across history sizes for both
+// directions — accepting (a witness exists and is found) and refuting
+// (NO serialization exists, the old checkers' exponential worst case) —
+// so checker scaling regressions surface in the benchmark grid. n = 96
+// and 192 are beyond the old enumeration's 62-transaction ceiling.
+func BenchmarkCheck(b *testing.B) {
+	for _, n := range []int{24, 48, 96, 192} {
+		accept := history.GenSerializable(41, n, 8)
+		refute := history.GenViolating(43, n)
+		b.Run(fmt.Sprintf("accept/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if v := history.Check(accept, "causal"); !v.OK {
+					b.Fatal(v.Reason)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("refute/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if v := history.Check(refute, "causal"); v.OK {
+					b.Fatal("violating history certified clean")
+				}
+			}
+		})
+		// The Lemma-1 refutation above dies in clause construction; the
+		// divergent-orders history refutes only through the solver's
+		// branching search (both writer orders of every group explored
+		// and killed), pinning the search/memoization cost.
+		branch := history.GenCausalOnly(47, n)
+		b.Run(fmt.Sprintf("refute-branching/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if v := history.Check(branch, "serializable"); v.OK {
+					b.Fatal("divergent-orders history serialized")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSimKernelThroughput(b *testing.B) {
 	d := protocol.Deploy(naivefast.New(), protocol.Config{Servers: 4, ObjectsPerServer: 2, Clients: 4, Seed: 3})
 	if err := d.InitAll(400_000); err != nil {

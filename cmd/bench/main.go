@@ -12,12 +12,21 @@
 // latency–throughput curve, with queueing delay and service latency
 // reported separately and the knee of the curve on every row.
 //
+// With -certify each closed-loop cell also records its history and
+// certifies it at the protocol's claimed consistency level via
+// history.Check, reporting the verdict and the checker's wall-clock cost
+// (cert_wall_ms) in the row — the certification half of the measurement
+// story: a throughput number only counts if the history behind it checks
+// out.
+//
 // Runs are fully deterministic: the same flags produce byte-identical
 // output, so the JSON can be diffed across commits to track performance
-// trajectories.
+// trajectories. (Exception: cert_wall_ms under -certify is wall-clock;
+// every other field stays deterministic.)
 //
 //	go run ./cmd/bench -clients 16 -txns 2000
 //	go run ./cmd/bench -protocols all -clients 1,8,32 -mixes readheavy,balanced
+//	go run ./cmd/bench -certify -protocols all -clients 8 -txns 128
 //	go run ./cmd/bench -curve -protocols cops,spanner -fractions 0.1,0.5,0.9,1.1
 package main
 
@@ -57,6 +66,16 @@ type row struct {
 	ROTRounds    float64 `json:"rot_rounds"`
 	WriteP50     int64   `json:"write_p50_us"`
 	WriteP99     int64   `json:"write_p99_us"`
+
+	// Certification fields (present with -certify only). cert is "ok" or
+	// "violation"; cert_wall_ms is checker wall-clock and is the one
+	// nondeterministic field in the output, so -certify runs are not
+	// byte-diffable across commits — everything else still is.
+	Cert       string  `json:"cert,omitempty"`
+	CertLevel  string  `json:"cert_level,omitempty"`
+	CertReason string  `json:"cert_reason,omitempty"`
+	CertTxns   int     `json:"cert_txns,omitempty"`
+	CertWallMS float64 `json:"cert_wall_ms,omitempty"`
 }
 
 func mixByName(name string) (workload.Mix, error) {
@@ -92,6 +111,7 @@ type gridConfig struct {
 	servers   int
 	objects   int
 	seed      int64
+	certify   bool
 }
 
 // buildGrid measures every protocol × mix × client-count cell closed-loop.
@@ -114,11 +134,12 @@ func buildGrid(cfg gridConfig) ([]row, error) {
 					Servers:          cfg.servers,
 					ObjectsPerServer: cfg.objects,
 					Pipeline:         cfg.pipeline,
+					Certify:          cfg.certify,
 				})
 				if err != nil {
 					return nil, err
 				}
-				rows = append(rows, row{
+				r := row{
 					Protocol:     rep.Protocol,
 					MixName:      mixName,
 					ReadFraction: mix.ReadFraction,
@@ -141,7 +162,18 @@ func buildGrid(cfg gridConfig) ([]row, error) {
 					ROTRounds:    rep.ROTRounds,
 					WriteP50:     rep.Write.P50,
 					WriteP99:     rep.Write.P99,
-				})
+				}
+				if cfg.certify {
+					r.Cert = "ok"
+					if !rep.CertOK {
+						r.Cert = "violation"
+					}
+					r.CertLevel = rep.CertLevel
+					r.CertReason = rep.CertReason
+					r.CertTxns = rep.CertTxns
+					r.CertWallMS = float64(rep.CertWall.Microseconds()) / 1000
+				}
+				rows = append(rows, r)
 			}
 		}
 	}
@@ -158,6 +190,11 @@ func main() {
 	servers := flag.Int("servers", 2, "servers in the deployment")
 	objects := flag.Int("objects", 2, "objects per server")
 	seed := flag.Int64("seed", 42, "deterministic run seed")
+	certify := flag.Bool("certify", false,
+		"closed-loop grid only: record each cell's history and certify it at "+
+			"the protocol's claimed consistency level (adds cert fields to the "+
+			"grid; keep -txns ≤ 512, and note cert_wall_ms is wall-clock, so "+
+			"output is no longer byte-diffable)")
 	curve := flag.Bool("curve", false,
 		"sweep open-loop offered load instead of closed-loop client counts")
 	fractions := flag.String("fractions", "0.1,0.25,0.5,0.75,0.9,1.1",
@@ -181,6 +218,9 @@ func main() {
 
 	var out any
 	if *curve {
+		if *certify {
+			fail(fmt.Errorf("-certify applies to the closed-loop grid only; drop -curve"))
+		}
 		fracs, err := parseFloats(*fractions)
 		if err != nil {
 			fail(err)
@@ -207,6 +247,7 @@ func main() {
 			protocols: names, mixes: mixNames, clients: counts,
 			txns: *txns, pipeline: *pipeline,
 			servers: *servers, objects: *objects, seed: *seed,
+			certify: *certify,
 		})
 		if err != nil {
 			fail(err)

@@ -53,6 +53,51 @@ func TestGridJSONByteIdentical(t *testing.T) {
 	requireIdentical(t, "grid JSON", run(), run())
 }
 
+// TestCertifyGrid: with certification on, every cell carries a verdict at
+// the protocol's claimed level, and the deterministic fields (everything
+// but the wall-clock) are identical across runs. cops (causal) must
+// certify clean; naivefast is the theorem's victim and must be caught.
+func TestCertifyGrid(t *testing.T) {
+	cfg := gridConfig{
+		protocols: []string{"cops", "naivefast"},
+		mixes:     []string{"balanced"},
+		clients:   []int{8},
+		txns:      96, pipeline: 1, servers: 2, objects: 1, seed: 2,
+		certify: true,
+	}
+	run := func() []row {
+		rows, err := buildGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	rows := run()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byProto := map[string]row{}
+	for _, r := range rows {
+		if r.Cert == "" || r.CertLevel == "" || r.CertTxns == 0 {
+			t.Fatalf("certification fields missing: %+v", r)
+		}
+		byProto[r.Protocol] = r
+	}
+	if byProto["cops"].Cert != "ok" {
+		t.Fatalf("cops failed certification: %s", byProto["cops"].CertReason)
+	}
+	if byProto["naivefast"].Cert != "violation" {
+		t.Fatal("naivefast certified clean — the harness lost the theorem's victim")
+	}
+	// Everything except the wall-clock must be deterministic.
+	again := run()
+	for i := range rows {
+		a, b := rows[i], again[i]
+		a.CertWallMS, b.CertWallMS = 0, 0
+		requireIdentical(t, "certify grid JSON", encode(t, a), encode(t, b))
+	}
+}
+
 // TestCurveJSONByteIdentical: same for the open-loop curve grid,
 // including the Poisson arrival stream.
 func TestCurveJSONByteIdentical(t *testing.T) {

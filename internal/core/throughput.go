@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/driver"
+	"repro/internal/history"
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -34,6 +36,16 @@ type ThroughputReport struct {
 	ROT       stats.Summary
 	Write     stats.Summary
 	ROTRounds float64
+
+	// Certification outcome (populated when ThroughputOptions.Certify
+	// was set): the run's recorded history checked at the protocol's
+	// claimed consistency level, with the checker's wall-clock cost.
+	// CertLevel is empty when certification was off.
+	CertLevel  string
+	CertOK     bool
+	CertReason string
+	CertTxns   int
+	CertWall   time.Duration
 }
 
 // ThroughputOptions scales a throughput run.
@@ -42,6 +54,11 @@ type ThroughputOptions struct {
 	ObjectsPerServer int
 	Pipeline         int
 	Latency          sim.LatencyModel
+	// Certify records the run's history and certifies it at the
+	// protocol's claimed consistency level, reporting verdict and
+	// checker wall-clock in the Cert* fields. Requires txns within the
+	// checker's ceiling (512).
+	Certify bool
 }
 
 // MeasureThroughput runs txns transactions of the mix over the given
@@ -54,6 +71,12 @@ func MeasureThroughput(p protocol.Protocol, mix workload.Mix, clients, txns int,
 // MeasureThroughputWith is MeasureThroughput with explicit scaling.
 func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns int, seed int64, opt ThroughputOptions) (ThroughputReport, error) {
 	rep := ThroughputReport{Protocol: p.Name(), Mix: mix, Clients: clients}
+	if opt.Certify && txns > history.MaxTxns {
+		// Refuse up front: a capacity refusal from the checker must never
+		// masquerade as a consistency violation in the report.
+		return rep, fmt.Errorf("core: cannot certify %d transactions (checker ceiling %d); lower txns",
+			txns, history.MaxTxns)
+	}
 	load, err := driver.Run(p, driver.Config{
 		Clients:          clients,
 		Pipeline:         opt.Pipeline,
@@ -63,9 +86,19 @@ func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns 
 		Servers:          opt.Servers,
 		ObjectsPerServer: opt.ObjectsPerServer,
 		Latency:          opt.Latency,
+		RecordHistory:    opt.Certify,
 	})
 	if err != nil {
 		return rep, err
+	}
+	if opt.Certify {
+		rep.CertLevel = p.Claims().Consistency
+		rep.CertTxns = load.History.Len()
+		start := time.Now()
+		v := history.Check(load.History, rep.CertLevel)
+		rep.CertWall = time.Since(start)
+		rep.CertOK = v.OK
+		rep.CertReason = v.Reason
 	}
 	rep.Pipeline = load.Pipeline
 	rep.Committed = load.Committed

@@ -64,8 +64,9 @@ type Config struct {
 	// low client counts).
 	MaxEvents int
 	// RecordHistory collects completed transactions into Report.History
-	// for consistency checking. Keep Txns small (≤ ~60) when set: the
-	// exact checkers are exponential.
+	// for consistency checking. The constraint-propagation checker
+	// certifies histories up to 512 transactions (accepting and
+	// refuting); keep Txns under that ceiling when set.
 	RecordHistory bool
 	// KeepTrace retains the full kernel trace and payload registry
 	// instead of running in load mode.

@@ -2,8 +2,6 @@ package history
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"repro/internal/model"
 )
@@ -24,20 +22,34 @@ func fail(format string, args ...any) Verdict {
 	return Verdict{OK: false, Reason: fmt.Sprintf(format, args...)}
 }
 
-// maxTxns bounds the exact-search checkers; experiment windows stay well
-// below it.
-const maxTxns = 62
+// MaxTxns bounds the constraint-propagation checkers. The limit is a
+// memory/CPU guard, not an algorithmic ceiling: the solver's bitset
+// closure is O(n²) space and certification of protocol histories is
+// routinely exercised at 128+ transactions (see scaling_test.go).
+// Callers sizing runs for certification must stay at or below it.
+const MaxTxns = 512
+
+// ov keys the writer lookup: (object, value) pairs are unique writers
+// under the paper's distinct-values assumption.
+type ov struct {
+	o string
+	v model.Value
+}
 
 // graph is the precomputed dependency structure shared by the checkers.
 type graph struct {
 	h     *History
 	txns  []*TxnRecord
 	index map[model.TxnID]int
-	// preds[i] is the bitmask of direct predecessors of txn i under the
+	// preds[i] is the set of direct predecessors of txn i under the
 	// relation being checked (program order ∪ reads-from [∪ real time]).
-	preds []uint64
-	// lastVal(obj, writer) lookup: the value txn i leaves in obj.
+	preds []bitset
+	// writes[i] is the final value txn i leaves in each object it wrote.
 	writes []map[string]model.Value
+	// writer maps (object, value) to the writing txn index.
+	writer map[ov]int
+	// writersOf[obj] lists every txn index writing obj, ascending.
+	writersOf map[string][]int
 }
 
 // build constructs the dependency graph. realTime adds completed-before-
@@ -46,8 +58,8 @@ type graph struct {
 func build(h *History, realTime bool) (*graph, *Verdict) {
 	g := &graph{h: h, txns: h.Records(), index: make(map[model.TxnID]int)}
 	n := len(g.txns)
-	if n > maxTxns {
-		v := fail("history too large for exact checking: %d > %d transactions", n, maxTxns)
+	if n > MaxTxns {
+		v := fail("history too large for exact checking: %d > %d transactions", n, MaxTxns)
 		return nil, &v
 	}
 	for i, t := range g.txns {
@@ -57,29 +69,37 @@ func build(h *History, realTime bool) (*graph, *Verdict) {
 		}
 		g.index[t.ID] = i
 	}
-	g.preds = make([]uint64, n)
+	g.preds = make([]bitset, n)
+	for i := range g.preds {
+		g.preds[i] = newBitset(n)
+	}
 	g.writes = make([]map[string]model.Value, n)
 
 	// Writer lookup: (object, value) -> txn index. Distinct values
-	// required.
-	type ov struct {
-		o string
-		v model.Value
-	}
-	writer := make(map[ov]int)
+	// required, and no write may collide with an object's initial value
+	// (the initial value is a value too; a collision would make "reads
+	// the initial value" ambiguous).
+	g.writer = make(map[ov]int)
+	g.writersOf = make(map[string][]int)
 	for i, t := range g.txns {
 		g.writes[i] = make(map[string]model.Value, len(t.Writes))
 		for _, w := range t.Writes {
 			g.writes[i][w.Object] = w.Value // last write wins
 		}
 		for obj, val := range g.writes[i] {
+			if val == h.Initial(obj) {
+				v := fail("values not distinct: %s=%s written by %s equals the initial value",
+					obj, val, t.ID)
+				return nil, &v
+			}
 			key := ov{obj, val}
-			if j, dup := writer[key]; dup && j != i {
+			if j, dup := g.writer[key]; dup && j != i {
 				v := fail("values not distinct: %s=%s written by both %s and %s",
 					obj, val, g.txns[j].ID, t.ID)
 				return nil, &v
 			}
-			writer[key] = i
+			g.writer[key] = i
+			g.writersOf[obj] = append(g.writersOf[obj], i)
 		}
 	}
 
@@ -87,7 +107,7 @@ func build(h *History, realTime bool) (*graph, *Verdict) {
 	for _, c := range h.Clients() {
 		recs := h.ByClient(c)
 		for i := 1; i < len(recs); i++ {
-			g.preds[g.index[recs[i].ID]] |= 1 << uint(g.index[recs[i-1].ID])
+			g.preds[g.index[recs[i].ID]].set(g.index[recs[i-1].ID])
 		}
 	}
 
@@ -97,13 +117,13 @@ func build(h *History, realTime bool) (*graph, *Verdict) {
 			if val == h.Initial(obj) {
 				continue // reads the initial value
 			}
-			j, found := writer[ov{obj, val}]
+			j, found := g.writer[ov{obj, val}]
 			if !found {
 				v := fail("dangling read: %s read %s=%s, never written", t.ID, obj, val)
 				return nil, &v
 			}
 			if j != i {
-				g.preds[i] |= 1 << uint(j)
+				g.preds[i].set(j)
 			}
 		}
 	}
@@ -115,7 +135,7 @@ func build(h *History, realTime bool) (*graph, *Verdict) {
 			}
 			for j, b := range g.txns {
 				if i != j && a.Completed < b.Invoked {
-					g.preds[j] |= 1 << uint(i)
+					g.preds[j].set(i)
 				}
 			}
 		}
@@ -129,11 +149,7 @@ func (g *graph) acyclic() ([]int, bool) {
 	n := len(g.txns)
 	indeg := make([]int, n)
 	for i := 0; i < n; i++ {
-		m := g.preds[i]
-		for m != 0 {
-			m &= m - 1
-			indeg[i]++
-		}
+		indeg[i] = g.preds[i].count()
 	}
 	var order []int
 	var frontier []int
@@ -147,7 +163,7 @@ func (g *graph) acyclic() ([]int, bool) {
 		frontier = frontier[1:]
 		order = append(order, v)
 		for j := 0; j < n; j++ {
-			if g.preds[j]&(1<<uint(v)) != 0 {
+			if g.preds[j].has(v) {
 				indeg[j]--
 				if indeg[j] == 0 {
 					frontier = append(frontier, j)
@@ -156,98 +172,6 @@ func (g *graph) acyclic() ([]int, bool) {
 		}
 	}
 	return order, len(order) == n
-}
-
-// legalFor searches for a linear extension of g in which every transaction
-// in checkSet (bitmask) is legal: each of its reads returns the value of
-// the last preceding write to that object, or the initial value when no
-// write precedes it. Returns the witness order on success.
-func (g *graph) legalFor(checkSet uint64) ([]int, bool) {
-	n := len(g.txns)
-	failed := make(map[string]bool)
-
-	lastWrite := make(map[string]model.Value)
-	fingerprint := func(mask uint64) string {
-		var b strings.Builder
-		fmt.Fprintf(&b, "%x|", mask)
-		objs := make([]string, 0, len(lastWrite))
-		for o := range lastWrite {
-			objs = append(objs, o)
-		}
-		sort.Strings(objs)
-		for _, o := range objs {
-			b.WriteString(o)
-			b.WriteByte('=')
-			b.WriteString(string(lastWrite[o]))
-			b.WriteByte(';')
-		}
-		return b.String()
-	}
-
-	order := make([]int, 0, n)
-	var search func(mask uint64) bool
-	search = func(mask uint64) bool {
-		if mask == (uint64(1)<<uint(n))-1 {
-			return true
-		}
-		fp := fingerprint(mask)
-		if failed[fp] {
-			return false
-		}
-		for i := 0; i < n; i++ {
-			bit := uint64(1) << uint(i)
-			if mask&bit != 0 || g.preds[i]&^mask != 0 {
-				continue
-			}
-			t := g.txns[i]
-			if checkSet&bit != 0 && !g.legalHere(t, lastWrite) {
-				continue
-			}
-			// Place i.
-			saved := make(map[string]model.Value, len(g.writes[i]))
-			for obj, val := range g.writes[i] {
-				if prev, okPrev := lastWrite[obj]; okPrev {
-					saved[obj] = prev
-				} else {
-					saved[obj] = "\x00absent"
-				}
-				lastWrite[obj] = val
-			}
-			order = append(order, i)
-			if search(mask | bit) {
-				return true
-			}
-			order = order[:len(order)-1]
-			for obj, prev := range saved {
-				if prev == "\x00absent" {
-					delete(lastWrite, obj)
-				} else {
-					lastWrite[obj] = prev
-				}
-			}
-		}
-		failed[fp] = true
-		return false
-	}
-	if !search(0) {
-		return nil, false
-	}
-	return order, true
-}
-
-// legalHere reports whether t's reads are legal given the current
-// last-write map (initial values when absent).
-func (g *graph) legalHere(t *TxnRecord, lastWrite map[string]model.Value) bool {
-	for obj, val := range t.Reads {
-		want, written := lastWrite[obj]
-		if !written {
-			want = g.h.Initial(obj)
-		}
-		if val != want {
-			return false
-		}
-	}
-	return true
 }
 
 func (g *graph) witness(order []int) []model.TxnID {
@@ -285,15 +209,17 @@ func CheckCausal(h *History) Verdict {
 	if errv != nil {
 		return *errv
 	}
-	if _, isDag := g.acyclic(); !isDag {
+	topo, isDag := g.acyclic()
+	if !isDag {
 		return fail("causal relation is cyclic")
 	}
+	base := newOrderClosure(g, topo)
 	var lastWitness []model.TxnID
 	for _, c := range h.Clients() {
-		var checkSet uint64
+		checkSet := newBitset(len(g.txns))
 		any := false
 		for _, rec := range h.ByClient(c) {
-			checkSet |= 1 << uint(g.index[rec.ID])
+			checkSet.set(g.index[rec.ID])
 			if len(rec.Reads) > 0 {
 				any = true
 			}
@@ -301,7 +227,8 @@ func CheckCausal(h *History) Verdict {
 		if !any {
 			continue // write-only clients are satisfied by any extension
 		}
-		order, found := g.legalFor(checkSet)
+		s := newSolver(g, base.clone(), checkSet)
+		order, found := s.solve()
 		if !found {
 			return fail("no causal serialization exists for client %s", c)
 		}
@@ -318,10 +245,12 @@ func CheckSerializable(h *History) Verdict {
 	if errv != nil {
 		return *errv
 	}
-	if _, isDag := g.acyclic(); !isDag {
+	topo, isDag := g.acyclic()
+	if !isDag {
 		return fail("dependency relation is cyclic")
 	}
-	order, found := g.legalFor(^uint64(0))
+	s := newSolver(g, newOrderClosure(g, topo), nil)
+	order, found := s.solve()
 	if !found {
 		return fail("no serialization exists")
 	}
@@ -336,10 +265,12 @@ func CheckStrictSerializable(h *History) Verdict {
 	if errv != nil {
 		return *errv
 	}
-	if _, isDag := g.acyclic(); !isDag {
+	topo, isDag := g.acyclic()
+	if !isDag {
 		return fail("real-time-augmented dependency relation is cyclic")
 	}
-	order, found := g.legalFor(^uint64(0))
+	s := newSolver(g, newOrderClosure(g, topo), nil)
+	order, found := s.solve()
 	if !found {
 		return fail("no strict serialization exists")
 	}
@@ -361,12 +292,8 @@ func CheckReadAtomic(h *History) Verdict {
 		if val == h.Initial(obj) {
 			return -1, true // initial pseudo-writer: older than everything
 		}
-		for j := range g.txns {
-			if v, wrote := g.writes[j][obj]; wrote && v == val {
-				return j, true
-			}
-		}
-		return 0, false
+		j, found := g.writer[ov{obj, val}]
+		return j, found
 	}
 	for _, t := range g.txns {
 		for obj := range t.Reads {

@@ -198,7 +198,7 @@ func TestReadYourOwnWriteWithinRMWTxn(t *testing.T) {
 
 func TestHistoryTooLarge(t *testing.T) {
 	h := New(nil)
-	for i := 0; i < maxTxns+1; i++ {
+	for i := 0; i < MaxTxns+1; i++ {
 		h.Add(rec("c", i+1, nil, model.Write{Object: "X", Value: model.Value(fmt.Sprintf("v%d", i))}))
 	}
 	if v := CheckCausal(h); v.OK {

@@ -1,0 +1,196 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// genDifferential builds a seeded random small history mixing legal and
+// illegal reads: writes get unique values, reads draw from the whole
+// value pool (including values written causally later, which can force
+// refutations, and the initial values).
+func genDifferential(seed int64, n int) *History {
+	rng := genRNG(seed)
+	objects := []string{"X", "Y", "Z"}
+	clients := []string{"c0", "c1", "c2"}
+	initial := map[string]model.Value{}
+	for _, o := range objects {
+		initial[o] = model.Value("i" + o)
+	}
+	// Pre-assign writes so reads can reference any of them.
+	type w struct {
+		txn int
+		obj string
+		val model.Value
+	}
+	var writes []w
+	isWriter := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.next(5) < 2 { // ~40% writers
+			isWriter[i] = true
+			for k := 0; k <= rng.next(2); k++ {
+				obj := objects[rng.next(len(objects))]
+				writes = append(writes, w{i, obj, model.Value(fmt.Sprintf("v%d-%s", i, obj))})
+			}
+		}
+	}
+	pool := func(obj string) []model.Value {
+		out := []model.Value{initial[obj]}
+		for _, wr := range writes {
+			if wr.obj == obj {
+				out = append(out, wr.val)
+			}
+		}
+		return out
+	}
+	h := New(initial)
+	seqs := map[string]int{}
+	now := int64(0)
+	for i := 0; i < n; i++ {
+		c := clients[rng.next(len(clients))]
+		seqs[c]++
+		rec := &TxnRecord{
+			ID: model.TxnID{Client: c, Seq: seqs[c]}, Client: c,
+			Invoked: now, Completed: now + int64(1+rng.next(20)),
+		}
+		now += int64(1 + rng.next(4))
+		if isWriter[i] {
+			for _, wr := range writes {
+				if wr.txn == i {
+					rec.Writes = append(rec.Writes, model.Write{Object: wr.obj, Value: wr.val})
+				}
+			}
+		} else {
+			rec.Reads = map[string]model.Value{}
+			for k := 0; k <= rng.next(2); k++ {
+				obj := objects[rng.next(len(objects))]
+				vals := pool(obj)
+				rec.Reads[obj] = vals[rng.next(len(vals))]
+			}
+		}
+		h.Add(rec)
+	}
+	return h
+}
+
+// TestDifferentialSolverVsExhaustive is the agreement contract: on seeded
+// random histories (n ≤ 12) the constraint-propagation solver and the
+// exhaustive enumeration must return identical verdicts at every level.
+func TestDifferentialSolverVsExhaustive(t *testing.T) {
+	levels := []string{"causal", "serializable", "strict-serializable"}
+	accepts, refutes := 0, 0
+	for seed := int64(1); seed <= 400; seed++ {
+		n := 2 + int(seed%11) // 2..12 transactions
+		h := genDifferential(seed*7919, n)
+		for _, level := range levels {
+			got := Check(h, level)
+			want := checkExhaustive(h, level)
+			if got.OK != want.OK {
+				t.Fatalf("seed %d level %s: solver says OK=%v (%s), exhaustive says OK=%v (%s)\n%s",
+					seed, level, got.OK, got.Reason, want.OK, want.Reason, h)
+			}
+			if got.OK {
+				accepts++
+				if level != "causal" {
+					validateTotalWitness(t, h, got.Witness, level == "strict-serializable")
+				}
+			} else {
+				refutes++
+			}
+		}
+	}
+	// The corpus must exercise both directions, or agreement is vacuous.
+	if accepts < 50 || refutes < 50 {
+		t.Fatalf("differential corpus lost its teeth: %d accepting, %d refuting verdicts", accepts, refutes)
+	}
+}
+
+// TestDifferentialAgreesOnProtocolShapedHistories runs both checkers over
+// the synthetic generator output at exhaustive-affordable sizes.
+func TestDifferentialAgreesOnProtocolShapedHistories(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, tc := range []struct {
+			name string
+			h    *History
+		}{
+			{"serializable", GenSerializable(seed, 20, 4)},
+			{"causalonly", GenCausalOnly(seed, 18)},
+			{"violating", GenViolating(seed, 15)},
+		} {
+			for _, level := range []string{"causal", "serializable", "strict-serializable"} {
+				got := Check(tc.h, level)
+				want := checkExhaustive(tc.h, level)
+				if got.OK != want.OK {
+					t.Fatalf("%s seed %d level %s: solver OK=%v, exhaustive OK=%v (%s / %s)",
+						tc.name, seed, level, got.OK, want.OK, got.Reason, want.Reason)
+				}
+			}
+		}
+	}
+}
+
+// validateTotalWitness replays a serializable/strict-serializable witness
+// and fails the test unless it is a permutation of the history respecting
+// program order, reads-from and (when realTime) real-time order, in which
+// every transaction's reads return the last written value.
+func validateTotalWitness(t *testing.T, h *History, witness []model.TxnID, realTime bool) {
+	t.Helper()
+	if len(witness) != h.Len() {
+		t.Fatalf("witness has %d entries for %d transactions", len(witness), h.Len())
+	}
+	pos := make(map[model.TxnID]int, len(witness))
+	recs := make(map[model.TxnID]*TxnRecord, h.Len())
+	for _, r := range h.Records() {
+		recs[r.ID] = r
+	}
+	for i, id := range witness {
+		if _, dup := pos[id]; dup {
+			t.Fatalf("witness repeats %s", id)
+		}
+		if _, known := recs[id]; !known {
+			t.Fatalf("witness contains unknown txn %s", id)
+		}
+		pos[id] = i
+	}
+	// Program order.
+	for _, c := range h.Clients() {
+		byc := h.ByClient(c)
+		for i := 1; i < len(byc); i++ {
+			if pos[byc[i-1].ID] > pos[byc[i].ID] {
+				t.Fatalf("witness violates program order: %s after %s", byc[i-1].ID, byc[i].ID)
+			}
+		}
+	}
+	// Real time.
+	if realTime {
+		for _, a := range h.Records() {
+			if a.Completed < 0 {
+				continue
+			}
+			for _, b := range h.Records() {
+				if a.ID != b.ID && a.Completed < b.Invoked && pos[a.ID] > pos[b.ID] {
+					t.Fatalf("witness violates real time: %s after %s", a.ID, b.ID)
+				}
+			}
+		}
+	}
+	// Replay legality.
+	state := map[string]model.Value{}
+	for _, id := range witness {
+		r := recs[id]
+		for obj, val := range r.Reads {
+			want, written := state[obj]
+			if !written {
+				want = h.Initial(obj)
+			}
+			if val != want {
+				t.Fatalf("witness illegal at %s: read %s=%s, last write is %s", id, obj, val, want)
+			}
+		}
+		for _, w := range r.Writes {
+			state[w.Object] = w.Value
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package history
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Compact byte encoding of small histories over a fixed alphabet, used by
+// the FuzzCheck harness: any byte string decodes to some history (the
+// decoder is total), and histories within the alphabet round-trip, so a
+// seed corpus of known-violating shapes can be expressed as bytes for the
+// fuzzer to mutate.
+//
+// Alphabet: 4 objects "A".."D" with initial values "iA".."iD", 4 clients
+// "c0".."c3", 16 write values "w0".."w15". Format, per transaction:
+//
+//	byte 0: client (low 2 bits)
+//	byte 1: op count (1 + low 2 bits, capped at 3)
+//	per op:
+//	  byte 0: bit 0 = write flag; bits 1-2 = object
+//	  byte 1: value selector — for reads, 0 means the initial value and
+//	          v > 0 means "w{(v-1)%16}"; for writes, "w{v%16}"
+//	byte: invocation gap since the previous invocation (low 5 bits)
+//	byte: duration until completion (1 + low 5 bits)
+//
+// Duplicate written values, dangling reads and other malformed shapes are
+// representable on purpose: the checkers must reject them gracefully, and
+// the fuzzer should explore those paths.
+
+// maxDecodedTxns caps decoded histories so the fuzz harness can afford
+// the exhaustive differential oracle on every input.
+const maxDecodedTxns = 16
+
+var encObjects = [4]string{"A", "B", "C", "D"}
+
+// encInitials returns the fixed initial-value map of the encoding.
+func encInitials() map[string]model.Value {
+	m := make(map[string]model.Value, len(encObjects))
+	for _, o := range encObjects {
+		m[o] = model.Value("i" + o)
+	}
+	return m
+}
+
+// DecodeHistory decodes data into a history. It is total: every input
+// yields a (possibly empty) history, never a panic.
+func DecodeHistory(data []byte) *History {
+	h := New(encInitials())
+	seqs := map[string]int{}
+	now := int64(0)
+	pos := 0
+	next := func() (byte, bool) {
+		if pos >= len(data) {
+			return 0, false
+		}
+		b := data[pos]
+		pos++
+		return b, true
+	}
+	for h.Len() < maxDecodedTxns {
+		cb, more := next()
+		if !more {
+			break
+		}
+		nb, more := next()
+		if !more {
+			break
+		}
+		client := fmt.Sprintf("c%d", cb&3)
+		nops := int(nb&3) + 1
+		if nops > 3 {
+			nops = 3
+		}
+		rec := &TxnRecord{Client: client}
+		for i := 0; i < nops; i++ {
+			ob, more := next()
+			if !more {
+				break
+			}
+			vb, more := next()
+			if !more {
+				break
+			}
+			obj := encObjects[(ob>>1)&3]
+			if ob&1 == 1 { // write
+				rec.Writes = append(rec.Writes, model.Write{
+					Object: obj, Value: model.Value(fmt.Sprintf("w%d", vb%16)),
+				})
+			} else { // read
+				if rec.Reads == nil {
+					rec.Reads = map[string]model.Value{}
+				}
+				if vb == 0 {
+					rec.Reads[obj] = model.Value("i" + obj)
+				} else {
+					rec.Reads[obj] = model.Value(fmt.Sprintf("w%d", (vb-1)%16))
+				}
+			}
+		}
+		gb, _ := next()
+		db, more := next()
+		if !more {
+			db = 0
+		}
+		now += int64(gb & 31)
+		rec.Invoked = now
+		rec.Completed = now + 1 + int64(db&31)
+		seqs[client]++
+		rec.ID = model.TxnID{Client: client, Seq: seqs[client]}
+		h.Add(rec)
+	}
+	return h
+}
+
+// EncodeHistory encodes a history built over the decoder's alphabet. It
+// returns an error when a record falls outside it (wrong client/object
+// names, values other than w0..w15 or the initials, more than 3 ops).
+func EncodeHistory(h *History) ([]byte, error) {
+	var out []byte
+	clientNum := map[string]byte{"c0": 0, "c1": 1, "c2": 2, "c3": 3}
+	objNum := map[string]byte{"A": 0, "B": 1, "C": 2, "D": 3}
+	valNum := func(v model.Value) (byte, bool) {
+		// Exact match required: Sscanf alone would accept trailing
+		// garbage ("w1x") and silently mis-encode it as w1.
+		var n int
+		if _, err := fmt.Sscanf(string(v), "w%d", &n); err != nil || n < 0 || n > 15 ||
+			string(v) != fmt.Sprintf("w%d", n) {
+			return 0, false
+		}
+		return byte(n), true
+	}
+	if h.Len() > maxDecodedTxns {
+		return nil, fmt.Errorf("history too large to encode: %d > %d", h.Len(), maxDecodedTxns)
+	}
+	prev := int64(0)
+	for _, rec := range h.Records() {
+		cn, known := clientNum[rec.Client]
+		if !known {
+			return nil, fmt.Errorf("client %q outside the encoding alphabet", rec.Client)
+		}
+		type op struct{ b, v byte }
+		var ops []op
+		for _, obj := range sortedObjects(rec.Reads) {
+			on, knownObj := objNum[obj]
+			if !knownObj {
+				return nil, fmt.Errorf("object %q outside the encoding alphabet", obj)
+			}
+			val := rec.Reads[obj]
+			if val == model.Value("i"+obj) {
+				ops = append(ops, op{on << 1, 0})
+			} else if vn, okVal := valNum(val); okVal {
+				ops = append(ops, op{on << 1, vn + 1})
+			} else {
+				return nil, fmt.Errorf("read value %q outside the encoding alphabet", val)
+			}
+		}
+		for _, w := range rec.Writes {
+			on, knownObj := objNum[w.Object]
+			if !knownObj {
+				return nil, fmt.Errorf("object %q outside the encoding alphabet", w.Object)
+			}
+			vn, okVal := valNum(w.Value)
+			if !okVal {
+				return nil, fmt.Errorf("write value %q outside the encoding alphabet", w.Value)
+			}
+			ops = append(ops, op{on<<1 | 1, vn})
+		}
+		if len(ops) == 0 || len(ops) > 3 {
+			return nil, fmt.Errorf("%d ops in %s, encodable range is 1..3", len(ops), rec.ID)
+		}
+		gap := rec.Invoked - prev
+		dur := rec.Completed - rec.Invoked - 1
+		if gap < 0 || gap > 31 || dur < 0 || dur > 31 {
+			return nil, fmt.Errorf("timing of %s outside the encoding range", rec.ID)
+		}
+		prev = rec.Invoked
+		out = append(out, cn, byte(len(ops)-1))
+		for _, o := range ops {
+			out = append(out, o.b, o.v)
+		}
+		out = append(out, byte(gap), byte(dur))
+	}
+	return out, nil
+}

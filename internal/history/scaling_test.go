@@ -1,0 +1,59 @@
+package history
+
+import (
+	"testing"
+	"time"
+)
+
+// checkerBudget is the wall-clock ceiling for one 128-transaction
+// certification on CI hardware (the acceptance bar of the solver rework;
+// the old enumeration could not represent these histories at all).
+const checkerBudget = 10 * time.Second
+
+func timedCheck(t *testing.T, what string, h *History, level string, wantOK bool) {
+	t.Helper()
+	start := time.Now()
+	v := Check(h, level)
+	elapsed := time.Since(start)
+	if v.OK != wantOK {
+		t.Fatalf("%s at %s: OK=%v (want %v): %s", what, level, v.OK, wantOK, v.Reason)
+	}
+	if elapsed > checkerBudget {
+		t.Fatalf("%s at %s took %v, budget %v", what, level, elapsed, checkerBudget)
+	}
+	t.Logf("%s at %s: %v (n=%d)", what, level, elapsed, h.Len())
+}
+
+// TestCheckerScaling128 certifies 128-transaction concurrent histories in
+// both directions — accepting AND refuting — within the wall-clock
+// budget. CI runs this under -race (see the checker-scaling job).
+func TestCheckerScaling128(t *testing.T) {
+	accept := GenSerializable(41, 128, 8)
+	timedCheck(t, "accepting/serializable", accept, "serializable", true)
+	timedCheck(t, "accepting/strict", accept, "strict-serializable", true)
+	timedCheck(t, "accepting/causal", accept, "causal", true)
+
+	refuteCausal := GenViolating(43, 128)
+	timedCheck(t, "refuting/causal", refuteCausal, "causal", false)
+	timedCheck(t, "refuting/serializable", refuteCausal, "serializable", false)
+
+	// The branching refutation: causally consistent but not serializable,
+	// so the serializable check must explore and kill both writer orders
+	// of every divergent group.
+	diverge := GenCausalOnly(47, 128)
+	timedCheck(t, "diverging/causal", diverge, "causal", true)
+	timedCheck(t, "diverging/serializable", diverge, "serializable", false)
+}
+
+// TestCheckerScaling256 doubles the window to prove headroom beyond the
+// acceptance bar (the solver's ceiling is MaxTxns = 512).
+func TestCheckerScaling256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	accept := GenSerializable(53, 256, 8)
+	timedCheck(t, "accepting/serializable", accept, "serializable", true)
+	timedCheck(t, "accepting/causal", accept, "causal", true)
+	refute := GenViolating(59, 256)
+	timedCheck(t, "refuting/causal", refute, "causal", false)
+}

@@ -1,0 +1,301 @@
+// Constraint-propagation search for legal serializations.
+//
+// The original checkers enumerated linear extensions of the dependency
+// graph outright, which refutes (proves NO serialization exists) only by
+// exhausting a factorial search — the reason certification was capped at
+// 62 transactions and violator load histories at 24. The solver instead
+// works DPLL-style over ordering literals "a before b":
+//
+//   - The known edges (program order, reads-from, real time) seed a
+//     transitively closed partial order kept as per-txn bitsets.
+//   - Each legality obligation becomes constraints. A read by t of the
+//     initial value of obj demands every writer of obj after t (unit
+//     edges). A read by t of v written by W demands, for every other
+//     writer o of obj, the anti-dependency disjunction
+//     (o → W) ∨ (t → o): o must not land between the read's writer and
+//     the read.
+//   - Unit propagation: a disjunct whose reverse is already implied is
+//     dead; its sibling becomes a forced edge. Edge insertion closes the
+//     order transitively and detects conflicts immediately.
+//   - When propagation reaches a fixpoint with undecided constraints
+//     left, the solver branches on the first one, exploring both
+//     disjuncts; failed closure states are memoized so the search never
+//     re-explores an ordering state it has already refuted.
+//
+// A satisfying assignment is a partial order in which every constraint
+// holds, so ANY linear extension of it is a legal serialization — the
+// witness is its deterministic smallest-index-first extension. The search
+// is sound and complete with respect to the exhaustive checker (see
+// checkExhaustive and the differential suite).
+package history
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// orderClosure is a transitively closed strict partial order over txn
+// indices: succ[i] holds every j ordered after i, pred[i] every j before.
+type orderClosure struct {
+	succ []bitset
+	pred []bitset
+}
+
+// newOrderClosure closes g.preds transitively. topo must be a topological
+// order of g (from graph.acyclic).
+func newOrderClosure(g *graph, topo []int) *orderClosure {
+	n := len(g.txns)
+	c := &orderClosure{succ: make([]bitset, n), pred: make([]bitset, n)}
+	for i := 0; i < n; i++ {
+		c.succ[i] = newBitset(n)
+		c.pred[i] = newBitset(n)
+	}
+	// Process in topological order: every direct predecessor's closure is
+	// complete before it is folded in.
+	for _, i := range topo {
+		g.preds[i].forEach(func(j int) {
+			c.pred[i].or(c.pred[j])
+			c.pred[i].set(j)
+		})
+	}
+	for i := 0; i < n; i++ {
+		c.pred[i].forEach(func(j int) { c.succ[j].set(i) })
+	}
+	return c
+}
+
+func (c *orderClosure) clone() *orderClosure {
+	out := &orderClosure{succ: make([]bitset, len(c.succ)), pred: make([]bitset, len(c.pred))}
+	for i := range c.succ {
+		out.succ[i] = c.succ[i].clone()
+		out.pred[i] = c.pred[i].clone()
+	}
+	return out
+}
+
+func (c *orderClosure) copyFrom(o *orderClosure) {
+	for i := range c.succ {
+		c.succ[i].copyFrom(o.succ[i])
+		c.pred[i].copyFrom(o.pred[i])
+	}
+}
+
+// addEdge orders a strictly before b and re-closes transitively.
+// It reports false on conflict (b is already ordered before a).
+func (c *orderClosure) addEdge(a, b int) bool {
+	if a == b {
+		return false
+	}
+	if c.succ[a].has(b) {
+		return true
+	}
+	if c.succ[b].has(a) {
+		return false
+	}
+	// Everything at or before a precedes everything at or after b.
+	after := c.succ[b]
+	update := func(x int) {
+		c.succ[x].or(after)
+		c.succ[x].set(b)
+	}
+	update(a)
+	c.pred[a].forEach(update)
+	before := c.pred[a]
+	updateP := func(y int) {
+		c.pred[y].or(before)
+		c.pred[y].set(a)
+	}
+	updateP(b)
+	after.forEach(updateP)
+	return true
+}
+
+// clause is the anti-dependency disjunction (a1 → b1) ∨ (a2 → b2).
+type clause struct {
+	a1, b1, a2, b2 int
+}
+
+// solver searches for an extension of the base order satisfying every
+// legality clause of the transactions in checkSet.
+type solver struct {
+	g       *graph
+	order   *orderClosure
+	clauses []clause
+	// failed memoizes refuted closure states (packed succ bitsets), the
+	// conflict-driven pruning that keeps refutation from re-deriving the
+	// same dead ends through different branch orders.
+	failed map[string]struct{}
+	// unsat is set when constraint construction already proves the check
+	// impossible (a transaction reading its own write: reads precede
+	// writes, so no placement is ever legal).
+	unsat bool
+}
+
+// newSolver builds the clause set for the txns in checkSet (nil: all
+// txns) over the given base closure. The closure is owned by the solver
+// afterwards.
+func newSolver(g *graph, base *orderClosure, checkSet bitset) *solver {
+	s := &solver{g: g, order: base, failed: make(map[string]struct{})}
+	for t := range g.txns {
+		if checkSet != nil && !checkSet.has(t) {
+			continue
+		}
+		rec := g.txns[t]
+		for _, obj := range sortedObjects(rec.Reads) {
+			val := rec.Reads[obj]
+			if val == g.h.Initial(obj) {
+				// Initial-value read: every writer of obj after t. Unit
+				// edges, applied immediately.
+				for _, o := range g.writersOf[obj] {
+					if o == t {
+						continue // own write: reads precede writes
+					}
+					if !s.order.addEdge(t, o) {
+						s.unsat = true
+						return s
+					}
+				}
+				continue
+			}
+			w := g.writer[ov{obj, val}] // build validated existence
+			if w == t {
+				s.unsat = true // reads its own write: never legal
+				return s
+			}
+			for _, o := range g.writersOf[obj] {
+				if o == w || o == t {
+					continue
+				}
+				if s.order.succ[o].has(w) || s.order.succ[t].has(o) {
+					continue // already satisfied by the base order
+				}
+				s.clauses = append(s.clauses, clause{o, w, t, o})
+			}
+		}
+	}
+	return s
+}
+
+// propagate applies unit propagation to a fixpoint. It reports false on
+// conflict (a clause with both disjuncts dead, or a forced edge closing a
+// cycle).
+func (s *solver) propagate() bool {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range s.clauses {
+			if s.order.succ[c.a1].has(c.b1) || s.order.succ[c.a2].has(c.b2) {
+				continue // satisfied
+			}
+			dead1 := s.order.succ[c.b1].has(c.a1)
+			dead2 := s.order.succ[c.b2].has(c.a2)
+			switch {
+			case dead1 && dead2:
+				return false
+			case dead1:
+				if !s.order.addEdge(c.a2, c.b2) {
+					return false
+				}
+				changed = true
+			case dead2:
+				if !s.order.addEdge(c.a1, c.b1) {
+					return false
+				}
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+// key packs the closure into a memoization key. The successor bitsets
+// fully determine the solver state: clause status is derived from them.
+func (s *solver) key() string {
+	words := 0
+	for _, row := range s.order.succ {
+		words += len(row)
+	}
+	buf := make([]byte, 0, words*8)
+	for _, row := range s.order.succ {
+		for _, w := range row {
+			buf = append(buf,
+				byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+	}
+	return string(buf)
+}
+
+// solve runs the search and, on success, returns the deterministic
+// smallest-index-first linear extension of the satisfying order.
+func (s *solver) solve() ([]int, bool) {
+	if s.unsat {
+		return nil, false
+	}
+	if !s.search() {
+		return nil, false
+	}
+	return s.extend(), true
+}
+
+func (s *solver) search() bool {
+	if !s.propagate() {
+		return false
+	}
+	pick := -1
+	for i, c := range s.clauses {
+		if !s.order.succ[c.a1].has(c.b1) && !s.order.succ[c.a2].has(c.b2) {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		return true // every clause satisfied: the order is legal
+	}
+	key := s.key()
+	if _, refuted := s.failed[key]; refuted {
+		return false
+	}
+	c := s.clauses[pick]
+	saved := s.order.clone()
+	if s.order.addEdge(c.a1, c.b1) && s.search() {
+		return true
+	}
+	s.order.copyFrom(saved)
+	if s.order.addEdge(c.a2, c.b2) && s.search() {
+		return true
+	}
+	s.order.copyFrom(saved)
+	s.failed[key] = struct{}{}
+	return false
+}
+
+// extend produces the smallest-index-first linear extension of the final
+// partial order.
+func (s *solver) extend() []int {
+	n := len(s.g.txns)
+	placed := newBitset(n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		for i := 0; i < n; i++ {
+			if !placed.has(i) && placed.containsAll(s.order.pred[i]) {
+				placed.set(i)
+				order = append(order, i)
+				break
+			}
+		}
+	}
+	return order
+}
+
+// sortedObjects returns the read-set object names in ascending order so
+// clause construction (and with it branching and witnesses) is
+// deterministic regardless of map iteration.
+func sortedObjects(reads map[string]model.Value) []string {
+	out := make([]string, 0, len(reads))
+	for o := range reads {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -50,5 +50,5 @@ func TestSnapshotCoversCausalPast(t *testing.T) {
 // TestLoadConformance certifies concurrent closed- and open-loop driver
 // sweeps at the claimed consistency level.
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, contrarian.New(), ptest.Expect{})
+	ptest.RunLoad(t, contrarian.New(), ptest.Expect{LoadTxns: 96})
 }

@@ -70,5 +70,5 @@ func TestRejectsMultiWrite(t *testing.T) {
 // TestLoadConformance certifies concurrent closed- and open-loop driver
 // sweeps at the claimed consistency level.
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, cops.New(), ptest.Expect{})
+	ptest.RunLoad(t, cops.New(), ptest.Expect{LoadTxns: 128})
 }

@@ -116,5 +116,5 @@ func TestRejectsMultiWrite(t *testing.T) {
 // TestLoadConformance certifies concurrent closed- and open-loop driver
 // sweeps at the claimed consistency level.
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, copssnow.New(), ptest.Expect{})
+	ptest.RunLoad(t, copssnow.New(), ptest.Expect{LoadTxns: 96})
 }

@@ -87,7 +87,7 @@ func TestWriterReadsOwnWritesImmediately(t *testing.T) {
 // TestLoadConformance certifies concurrent closed- and open-loop driver
 // sweeps at the claimed consistency level.
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, cure.New(), ptest.Expect{})
+	ptest.RunLoad(t, cure.New(), ptest.Expect{LoadTxns: 128})
 }
 
 // TestConcurrentOppositeOrderCommitsStayAtomic pins the write-atomicity

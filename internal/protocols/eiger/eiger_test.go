@@ -94,6 +94,7 @@ func TestWriteIsTwoPhase(t *testing.T) {
 // load". The suite skips when the fracture manifests.
 func TestLoadConformance(t *testing.T) {
 	ptest.RunLoad(t, eiger.New(), ptest.Expect{
+		LoadTxns:     96,
 		FractureNote: "ROADMAP: Eiger fractures atomic visibility under concurrent load — second-round read-at-time not implemented",
 	})
 }

@@ -93,6 +93,7 @@ func TestLoadConformance(t *testing.T) {
 	ptest.RunLoad(t, fatcops.New(), ptest.Expect{
 		ObjectsPerServer: 2,
 		LoadSeeds:        []int64{5},
+		LoadTxns:         96,
 		FractureNote:     "ROADMAP: Eiger fractures atomic visibility under concurrent load — fatcops has the same race at 2 objects/server",
 	})
 }

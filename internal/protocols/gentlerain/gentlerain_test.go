@@ -65,5 +65,5 @@ func TestRejectsMultiWrite(t *testing.T) {
 // TestLoadConformance certifies concurrent closed- and open-loop driver
 // sweeps at the claimed consistency level.
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, gentlerain.New(), ptest.Expect{})
+	ptest.RunLoad(t, gentlerain.New(), ptest.Expect{LoadTxns: 96})
 }

@@ -191,5 +191,5 @@ func TestDroppedWriteDetectedByChecker(t *testing.T) {
 // must FAIL certification at its claimed level (fast reads are paid for
 // with consistency, exactly as the paper's lower bounds demand).
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, New(), ptest.Expect{ViolatesUnderLoad: true})
+	ptest.RunLoad(t, New(), ptest.Expect{ViolatesUnderLoad: true, LoadTxns: 96})
 }

@@ -88,5 +88,5 @@ func TestParkPathServesWhenCounterCatchesUp(t *testing.T) {
 // TestLoadConformance certifies concurrent closed- and open-loop driver
 // sweeps at the claimed consistency level.
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, New(), ptest.Expect{})
+	ptest.RunLoad(t, New(), ptest.Expect{LoadTxns: 96})
 }

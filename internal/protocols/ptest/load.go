@@ -36,10 +36,18 @@ func RunLoad(t *testing.T, p protocol.Protocol, e Expect) {
 	}
 	txns := e.LoadTxns
 	if txns == 0 {
-		txns = 36
-		if e.ViolatesUnderLoad {
-			txns = 24
-		}
+		// One default for everyone: since the constraint-propagation
+		// solver replaced the exhaustive search, refutation (proving NO
+		// serialization exists for a violator) costs the same order as
+		// acceptance, so violators no longer need a smaller window.
+		txns = 72
+	}
+	if txns > history.MaxTxns {
+		// Refuse up front: past the ceiling history.Check returns a
+		// capacity refusal, which the ViolatesUnderLoad branch below
+		// would otherwise count as the expected violation — a vacuous
+		// pass with the checker never actually running.
+		t.Fatalf("LoadTxns %d exceeds the checker ceiling %d", txns, history.MaxTxns)
 	}
 	srv, ops := e.Servers, e.ObjectsPerServer
 	if srv == 0 {

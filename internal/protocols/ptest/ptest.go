@@ -55,12 +55,13 @@ type Expect struct {
 	FractureNote string
 	// LoadSeeds are the driver seeds the load suite sweeps (default 2).
 	// Fracture configurations pin the seeds where the race is known to
-	// manifest; certification cost is seed-sensitive, so stick to seeds
-	// that are known cheap.
+	// manifest.
 	LoadSeeds []int64
-	// LoadTxns is the transaction count per load run (default 36, or 24
-	// for violators: proving that NO serialization exists exhausts the
-	// search, which grows much faster than finding one witness).
+	// LoadTxns is the transaction count per load run (default 72). The
+	// constraint-propagation checker certifies accepting AND refuting
+	// histories well past 128 transactions (ceiling 512), so suites are
+	// free to sweep long concurrent windows; violators no longer need a
+	// reduced window for refutation to finish.
 	LoadTxns int
 }
 

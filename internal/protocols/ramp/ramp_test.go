@@ -107,5 +107,5 @@ func TestReadAtomicityUnderRandomSchedules(t *testing.T) {
 // TestLoadConformance certifies concurrent closed- and open-loop driver
 // sweeps at the claimed consistency level.
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, ramp.New(), ptest.Expect{})
+	ptest.RunLoad(t, ramp.New(), ptest.Expect{LoadTxns: 96})
 }

@@ -116,5 +116,5 @@ func TestReadsNeverReturnMixedTransaction(t *testing.T) {
 // TestLoadConformance certifies concurrent closed- and open-loop driver
 // sweeps at the claimed consistency level.
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, spanner.New(), ptest.Expect{})
+	ptest.RunLoad(t, spanner.New(), ptest.Expect{LoadTxns: 96})
 }

@@ -95,5 +95,5 @@ func TestRejectsReadWrite(t *testing.T) {
 // FAIL certification at its claimed level (fast reads are paid for with
 // consistency, exactly as the paper's lower bounds demand).
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, twopcfast.New(), ptest.Expect{ViolatesUnderLoad: true})
+	ptest.RunLoad(t, twopcfast.New(), ptest.Expect{ViolatesUnderLoad: true, LoadTxns: 96})
 }

@@ -111,5 +111,5 @@ func TestWriteIsTwoPhase(t *testing.T) {
 // TestLoadConformance certifies concurrent closed- and open-loop driver
 // sweeps at the claimed consistency level.
 func TestLoadConformance(t *testing.T) {
-	ptest.RunLoad(t, wren.New(), ptest.Expect{})
+	ptest.RunLoad(t, wren.New(), ptest.Expect{LoadTxns: 96})
 }

@@ -143,7 +143,20 @@ func BuildProfile(p protocol.Protocol, cfg protocol.Config, seeds []int64) (Prof
 		if err := wd.InitAll(200_000); err != nil {
 			return prof, err
 		}
-		h := history.New(wd.Initials())
+		// The init transactions are recorded in the history, so their
+		// values must NOT double as declared initials (a written value
+		// colliding with an initial value is ambiguous for the checker):
+		// reads of the init values get reads-from edges to the recorded
+		// init transactions instead, which carries the same causality.
+		// The declared initials are sentinels nothing ever writes or
+		// returns — in particular NOT model.Bottom, so a read that came
+		// back empty (a lost-write bug) is still refuted as dangling
+		// rather than aliasing the initial value.
+		sentinels := make(map[string]model.Value)
+		for _, obj := range wd.Place.Objects() {
+			sentinels[obj] = model.Value("pre_" + obj)
+		}
+		h := history.New(sentinels)
 		// Record the init transactions so causality through them counts.
 		for i, obj := range wd.Place.Objects() {
 			h.Add(&history.TxnRecord{
