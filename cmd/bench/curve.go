@@ -41,6 +41,10 @@ type curveRow struct {
 	ServiceP50  int64   `json:"service_p50_us"`
 	ServiceP99  int64   `json:"service_p99_us"`
 	InFlightMax int64   `json:"in_flight_max"`
+
+	// Certification columns, shared with the closed-loop grid rows
+	// (present with -certify only).
+	certCols
 }
 
 // curveConfig parameterizes a curve grid build.
@@ -54,6 +58,7 @@ type curveConfig struct {
 	objects   int
 	seed      int64
 	uniform   bool // deterministic-rate arrivals instead of Poisson
+	certify   bool // ride-along certification of every point
 }
 
 // buildCurve measures one latency–throughput curve per protocol × mix and
@@ -79,6 +84,7 @@ func buildCurve(cfg curveConfig) ([]curveRow, error) {
 				Servers: cfg.servers, ObjectsPerServer: cfg.objects,
 				Clients: cfg.clients, Txns: cfg.txns,
 				Fractions: cfg.fractions, Deterministic: cfg.uniform,
+				Certify: cfg.certify,
 			})
 			if err != nil {
 				return nil, err
@@ -113,6 +119,9 @@ func buildCurve(cfg curveConfig) ([]curveRow, error) {
 					ServiceP99:   pt.Service.P99,
 					InFlightMax:  pt.InFlight.Max,
 				})
+				if cfg.certify {
+					certCells(&rows[len(rows)-1].certCols, pt.Cert)
+				}
 			}
 		}
 	}

@@ -12,22 +12,26 @@
 // latency–throughput curve, with queueing delay and service latency
 // reported separately and the knee of the curve on every row.
 //
-// With -certify each closed-loop cell also records its history and
-// certifies it at the protocol's claimed consistency level via
-// history.Check, reporting the verdict and the checker's wall-clock cost
-// (cert_wall_ms) in the row — the certification half of the measurement
-// story: a throughput number only counts if the history behind it checks
-// out.
+// With -certify each cell (closed-loop grid and -curve points alike) is
+// certified ride-along: committed transactions feed an incremental
+// history.Session at the protocol's claimed consistency level while the
+// run executes, so the full default 2000-txn cells certify without a
+// reduced -txns, and a violating cell reports the first offending commit
+// (first_violation_txn). The recorded history is then re-solved by the
+// batch checker as a cross-check, and both wall-clocks land in the row
+// (cert_wall_ms incremental vs cert_batch_wall_ms) — the certification
+// half of the measurement story: a throughput number only counts if the
+// history behind it checks out.
 //
 // Runs are fully deterministic: the same flags produce byte-identical
 // output, so the JSON can be diffed across commits to track performance
-// trajectories. (Exception: cert_wall_ms under -certify is wall-clock;
-// every other field stays deterministic.)
+// trajectories. (Exception: cert_wall_ms and cert_batch_wall_ms under
+// -certify are wall-clock; every other field stays deterministic.)
 //
 //	go run ./cmd/bench -clients 16 -txns 2000
 //	go run ./cmd/bench -protocols all -clients 1,8,32 -mixes readheavy,balanced
-//	go run ./cmd/bench -certify -protocols all -clients 8 -txns 128
-//	go run ./cmd/bench -curve -protocols cops,spanner -fractions 0.1,0.5,0.9,1.1
+//	go run ./cmd/bench -certify -protocols cops,cure -clients 16 -txns 2000
+//	go run ./cmd/bench -curve -certify -protocols cops,spanner -fractions 0.1,0.5,0.9,1.1
 package main
 
 import (
@@ -39,6 +43,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/history"
 	"repro/internal/workload"
 )
 
@@ -67,15 +72,41 @@ type row struct {
 	WriteP50     int64   `json:"write_p50_us"`
 	WriteP99     int64   `json:"write_p99_us"`
 
-	// Certification fields (present with -certify only). cert is "ok" or
-	// "violation"; cert_wall_ms is checker wall-clock and is the one
-	// nondeterministic field in the output, so -certify runs are not
-	// byte-diffable across commits — everything else still is.
-	Cert       string  `json:"cert,omitempty"`
-	CertLevel  string  `json:"cert_level,omitempty"`
-	CertReason string  `json:"cert_reason,omitempty"`
-	CertTxns   int     `json:"cert_txns,omitempty"`
-	CertWallMS float64 `json:"cert_wall_ms,omitempty"`
+	// Certification columns, shared with the -curve rows (present with
+	// -certify only).
+	certCols
+}
+
+// certCols is the certification column set every certified grid row
+// carries. cert is "ok" or "violation"; first_violation_txn is the
+// append index of the first offending commit on a violation;
+// cert_wall_ms is the ride-along session's cumulative wall-clock and
+// cert_batch_wall_ms the batch re-check's — the two nondeterministic
+// fields in the output, so -certify runs are not byte-diffable across
+// commits; everything else still is.
+type certCols struct {
+	Cert              string  `json:"cert,omitempty"`
+	CertLevel         string  `json:"cert_level,omitempty"`
+	CertReason        string  `json:"cert_reason,omitempty"`
+	CertTxns          int     `json:"cert_txns,omitempty"`
+	FirstViolationTxn *int    `json:"first_violation_txn,omitempty"`
+	CertWallMS        float64 `json:"cert_wall_ms,omitempty"`
+	CertBatchWallMS   float64 `json:"cert_batch_wall_ms,omitempty"`
+}
+
+// certCells fills the certification columns from a measured outcome.
+func certCells(r *certCols, c core.Certification) {
+	r.Cert = "ok"
+	if !c.OK {
+		r.Cert = "violation"
+		fv := c.FirstViolation
+		r.FirstViolationTxn = &fv
+	}
+	r.CertLevel = c.Level
+	r.CertReason = c.Reason
+	r.CertTxns = c.Txns
+	r.CertWallMS = float64(c.IncrementalWall.Microseconds()) / 1000
+	r.CertBatchWallMS = float64(c.BatchWall.Microseconds()) / 1000
 }
 
 func mixByName(name string) (workload.Mix, error) {
@@ -164,14 +195,7 @@ func buildGrid(cfg gridConfig) ([]row, error) {
 					WriteP99:     rep.Write.P99,
 				}
 				if cfg.certify {
-					r.Cert = "ok"
-					if !rep.CertOK {
-						r.Cert = "violation"
-					}
-					r.CertLevel = rep.CertLevel
-					r.CertReason = rep.CertReason
-					r.CertTxns = rep.CertTxns
-					r.CertWallMS = float64(rep.CertWall.Microseconds()) / 1000
+					certCells(&r.certCols, rep.Cert)
 				}
 				rows = append(rows, r)
 			}
@@ -190,11 +214,12 @@ func main() {
 	servers := flag.Int("servers", 2, "servers in the deployment")
 	objects := flag.Int("objects", 2, "objects per server")
 	seed := flag.Int64("seed", 42, "deterministic run seed")
-	certify := flag.Bool("certify", false,
-		"closed-loop grid only: record each cell's history and certify it at "+
-			"the protocol's claimed consistency level (adds cert fields to the "+
-			"grid; keep -txns ≤ 512, and note cert_wall_ms is wall-clock, so "+
-			"output is no longer byte-diffable)")
+	certify := flag.Bool("certify", false, fmt.Sprintf(
+		"certify each cell ride-along at the protocol's claimed consistency "+
+			"level (adds cert fields incl. first_violation_txn to the grid; "+
+			"keep -txns ≤ %d, the shared checker ceiling history.MaxTxns, and "+
+			"note cert_wall_ms/cert_batch_wall_ms are wall-clock, so output "+
+			"is no longer byte-diffable)", history.MaxTxns))
 	curve := flag.Bool("curve", false,
 		"sweep open-loop offered load instead of closed-loop client counts")
 	fractions := flag.String("fractions", "0.1,0.25,0.5,0.75,0.9,1.1",
@@ -218,9 +243,6 @@ func main() {
 
 	var out any
 	if *curve {
-		if *certify {
-			fail(fmt.Errorf("-certify applies to the closed-loop grid only; drop -curve"))
-		}
 		fracs, err := parseFloats(*fractions)
 		if err != nil {
 			fail(err)
@@ -232,7 +254,7 @@ func main() {
 			protocols: names, mixes: mixNames, fractions: fracs,
 			clients: *curveClients, txns: *txns,
 			servers: *servers, objects: *objects, seed: *seed,
-			uniform: *arrivals == "uniform",
+			uniform: *arrivals == "uniform", certify: *certify,
 		})
 		if err != nil {
 			fail(err)

@@ -86,14 +86,21 @@ func TestCertifyGrid(t *testing.T) {
 	if byProto["cops"].Cert != "ok" {
 		t.Fatalf("cops failed certification: %s", byProto["cops"].CertReason)
 	}
+	if byProto["cops"].FirstViolationTxn != nil {
+		t.Fatalf("clean cell carries first_violation_txn %d", *byProto["cops"].FirstViolationTxn)
+	}
 	if byProto["naivefast"].Cert != "violation" {
 		t.Fatal("naivefast certified clean — the harness lost the theorem's victim")
 	}
-	// Everything except the wall-clock must be deterministic.
+	if fv := byProto["naivefast"].FirstViolationTxn; fv == nil || *fv < 0 || *fv >= byProto["naivefast"].CertTxns {
+		t.Fatalf("violating cell must pin the first offending commit: %+v", fv)
+	}
+	// Everything except the wall-clocks must be deterministic.
 	again := run()
 	for i := range rows {
 		a, b := rows[i], again[i]
 		a.CertWallMS, b.CertWallMS = 0, 0
+		a.CertBatchWallMS, b.CertBatchWallMS = 0, 0
 		requireIdentical(t, "certify grid JSON", encode(t, a), encode(t, b))
 	}
 }

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/workload"
+)
+
+// TestThroughputCertifyRideAlong: a certified throughput cell reports
+// the agreed verdict with both wall-clocks, and a violator cell pins the
+// first offending commit.
+func TestThroughputCertifyRideAlong(t *testing.T) {
+	clean, err := MeasureThroughputWith(ByName("cops"), workload.Balanced(), 8, 200, 2,
+		ThroughputOptions{Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Cert.OK || clean.Cert.Level != "causal" || clean.Cert.Txns != 200 {
+		t.Fatalf("cops certification malformed: %+v", clean.Cert)
+	}
+	if clean.Cert.FirstViolation != -1 {
+		t.Fatalf("clean cell pins a first violation: %+v", clean.Cert)
+	}
+
+	bad, err := MeasureThroughputWith(ByName("naivefast"), workload.Balanced(), 8, 96, 2,
+		ThroughputOptions{ObjectsPerServer: 1, Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Cert.OK {
+		t.Fatal("naivefast certified clean")
+	}
+	if bad.Cert.FirstViolation < 0 || bad.Cert.FirstViolation >= bad.Committed {
+		t.Fatalf("violator cell must pin the first offending commit: %+v", bad.Cert)
+	}
+}
+
+// TestThroughputCertifyRefusesPastCeiling: the refusal must fire before
+// any run and name the shared ceiling constant.
+func TestThroughputCertifyRefusesPastCeiling(t *testing.T) {
+	_, err := MeasureThroughputWith(ByName("cops"), workload.Balanced(), 4, history.MaxTxns+1, 1,
+		ThroughputOptions{Certify: true})
+	if err == nil || !strings.Contains(err.Error(), "history.MaxTxns") {
+		t.Fatalf("want a refusal naming history.MaxTxns, got %v", err)
+	}
+}
+
+// TestLoadCurveCertify: with CurveOptions.Certify every open-loop point
+// carries its own ride-along verdict, so certification no longer caps
+// the curve's transaction count to a reduced batch window.
+func TestLoadCurveCertify(t *testing.T) {
+	curve, err := MeasureLoadCurve(ByName("cure"), workload.Balanced(), 4, CurveOptions{
+		Clients: 4, Txns: 120, Fractions: []float64{0.25, 0.9}, Certify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(curve.Points))
+	}
+	for _, pt := range curve.Points {
+		if pt.Cert.Level != "causal" || !pt.Cert.OK || pt.Cert.Txns != pt.Committed {
+			t.Fatalf("curve point certification malformed: %+v", pt.Cert)
+		}
+	}
+}

@@ -3,6 +3,14 @@
 // consistency checkers (Definition 1) and the adversary (Theorem 1/2)
 // together, regenerating the paper's Table 1 from measured behaviour and
 // producing a theorem verdict for every protocol.
+//
+// It is also the measurement front door for the load story: closed-loop
+// throughput grids (MeasureThroughput), open-loop latency–throughput
+// curves (MeasureLoadCurve) and, with the Certify options, ride-along
+// certification of every cell — committed transactions feed an
+// incremental history.Session during the run and the recorded history is
+// re-solved by the batch checker, so every published number is backed by
+// two independently agreeing consistency verdicts.
 package core
 
 import (

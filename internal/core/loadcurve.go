@@ -36,6 +36,12 @@ type CurvePoint struct {
 	QueueDelay stats.Summary
 	Service    stats.Summary
 	InFlight   stats.Summary
+
+	// Cert is this point's ride-along certification outcome (populated
+	// when CurveOptions.Certify was set): every open-loop point of the
+	// curve is certified as it runs, same contract as the closed-loop
+	// grid.
+	Cert Certification
 }
 
 // LoadCurve is a swept latency–throughput curve for one protocol × mix.
@@ -69,6 +75,10 @@ type CurveOptions struct {
 	// Deterministic selects fixed-interval arrivals instead of Poisson.
 	Deterministic bool
 	Latency       sim.LatencyModel
+	// Certify certifies every curve point ride-along at the protocol's
+	// claimed consistency level (see ThroughputOptions.Certify). Requires
+	// Txns at or below the checker ceiling history.MaxTxns.
+	Certify bool
 }
 
 func (o *CurveOptions) defaults() {
@@ -112,18 +122,25 @@ func MeasureLoadCurve(p protocol.Protocol, mix workload.Mix, seed int64, opt Cur
 			Servers: opt.Servers, ObjectsPerServer: opt.ObjectsPerServer,
 			Latency: opt.Latency,
 			Rate:    rate, DeterministicArrivals: opt.Deterministic,
+			RecordHistory: opt.Certify, Certify: opt.Certify,
 		})
 		if err != nil {
 			return curve, fmt.Errorf("core: curve point %s at %.0f txn/s: %w", p.Name(), rate, err)
 		}
-		curve.Points = append(curve.Points, CurvePoint{
+		pt := CurvePoint{
 			Protocol: p.Name(), Mix: mix,
 			Fraction: frac, Offered: rate, Achieved: rep.Throughput,
 			Committed: rep.Committed, Rejected: rep.Rejected,
 			Incomplete: rep.Incomplete, Events: rep.Events, Duration: rep.Duration,
 			Latency: rep.Latency, QueueDelay: rep.QueueDelay,
 			Service: rep.Service, InFlight: rep.InFlight,
-		})
+		}
+		if opt.Certify {
+			if pt.Cert, err = certifyRun(rep); err != nil {
+				return curve, err
+			}
+		}
+		curve.Points = append(curve.Points, pt)
 	}
 	for _, pt := range curve.Points {
 		if pt.QueueDelay.P50 <= pt.Service.P50 && pt.Offered > curve.Knee {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/driver"
 	"repro/internal/history"
@@ -37,15 +36,12 @@ type ThroughputReport struct {
 	Write     stats.Summary
 	ROTRounds float64
 
-	// Certification outcome (populated when ThroughputOptions.Certify
-	// was set): the run's recorded history checked at the protocol's
-	// claimed consistency level, with the checker's wall-clock cost.
-	// CertLevel is empty when certification was off.
-	CertLevel  string
-	CertOK     bool
-	CertReason string
-	CertTxns   int
-	CertWall   time.Duration
+	// Cert is the certification outcome (populated when
+	// ThroughputOptions.Certify was set): the run certified ride-along by
+	// an incremental session as transactions committed, cross-checked by
+	// the batch solver, with both wall-clocks. Cert.Level is empty when
+	// certification was off.
+	Cert Certification
 }
 
 // ThroughputOptions scales a throughput run.
@@ -54,10 +50,12 @@ type ThroughputOptions struct {
 	ObjectsPerServer int
 	Pipeline         int
 	Latency          sim.LatencyModel
-	// Certify records the run's history and certifies it at the
-	// protocol's claimed consistency level, reporting verdict and
-	// checker wall-clock in the Cert* fields. Requires txns within the
-	// checker's ceiling (512).
+	// Certify certifies the run ride-along at the protocol's claimed
+	// consistency level: committed transactions feed an incremental
+	// history.Session during the run (so full grid cells certify without
+	// a reduced txn count), and the recorded history is re-checked by the
+	// batch solver for the incremental-vs-batch comparison in Cert.
+	// Requires txns at or below the checker ceiling history.MaxTxns.
 	Certify bool
 }
 
@@ -74,7 +72,7 @@ func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns 
 	if opt.Certify && txns > history.MaxTxns {
 		// Refuse up front: a capacity refusal from the checker must never
 		// masquerade as a consistency violation in the report.
-		return rep, fmt.Errorf("core: cannot certify %d transactions (checker ceiling %d); lower txns",
+		return rep, fmt.Errorf("core: cannot certify %d transactions (checker ceiling history.MaxTxns = %d); lower txns",
 			txns, history.MaxTxns)
 	}
 	load, err := driver.Run(p, driver.Config{
@@ -87,18 +85,15 @@ func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns 
 		ObjectsPerServer: opt.ObjectsPerServer,
 		Latency:          opt.Latency,
 		RecordHistory:    opt.Certify,
+		Certify:          opt.Certify,
 	})
 	if err != nil {
 		return rep, err
 	}
 	if opt.Certify {
-		rep.CertLevel = p.Claims().Consistency
-		rep.CertTxns = load.History.Len()
-		start := time.Now()
-		v := history.Check(load.History, rep.CertLevel)
-		rep.CertWall = time.Since(start)
-		rep.CertOK = v.OK
-		rep.CertReason = v.Reason
+		if rep.Cert, err = certifyRun(load); err != nil {
+			return rep, err
+		}
 	}
 	rep.Pipeline = load.Pipeline
 	rep.Committed = load.Committed

@@ -1,0 +1,117 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/protocols/cops"
+	"repro/internal/protocols/cure"
+	"repro/internal/protocols/naivefast"
+	"repro/internal/workload"
+)
+
+// TestRideAlongCertifiesClosedLoop: a clean protocol under closed-loop
+// load certifies ride-along, and the session verdict agrees with the
+// batch solver over the same recorded history.
+func TestRideAlongCertifiesClosedLoop(t *testing.T) {
+	rep, err := Run(cops.New(), Config{
+		Clients: 8, Txns: 200, Mix: workload.Balanced(), Seed: 5,
+		RecordHistory: true, Certify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cert == nil || rep.CertLevel != "causal" {
+		t.Fatalf("certification missing: %+v", rep.Cert)
+	}
+	if !rep.Cert.OK {
+		t.Fatalf("cops failed ride-along certification: %s", rep.Cert.Reason)
+	}
+	if rep.Cert.FirstViolation != -1 || rep.Cert.Appended != rep.Committed {
+		t.Fatalf("clean run verdict malformed: %+v", rep.Cert)
+	}
+	if batch := history.CheckBatch(rep.History, rep.CertLevel); !batch.OK {
+		t.Fatalf("batch disagrees with clean ride-along verdict: %s", batch.Reason)
+	}
+}
+
+// TestRideAlongCertifiesOpenLoop: the ride-along session also rides the
+// open-loop regime, where collection order interleaves across clients
+// and reads routinely resolve before their writers are collected.
+func TestRideAlongCertifiesOpenLoop(t *testing.T) {
+	rep, err := Run(cure.New(), Config{
+		Clients: 8, Txns: 160, Mix: workload.Balanced(), Seed: 3, Rate: 1000,
+		RecordHistory: true, Certify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cert == nil || !rep.Cert.OK {
+		t.Fatalf("cure failed open-loop ride-along certification: %+v", rep.Cert)
+	}
+	if batch := history.CheckBatch(rep.History, rep.CertLevel); batch.OK != rep.Cert.OK {
+		t.Fatalf("open-loop session/batch disagreement: %v vs %v", rep.Cert.OK, batch.OK)
+	}
+}
+
+// TestRideAlongFirstViolationPin pins the first-offending-commit report
+// of a known violator: naivefast (the impossible fast design of Theorem
+// 1) under the conformance sweep's configuration is refuted at append
+// index 4 — the session seals after 5 commits of the 96-transaction run
+// instead of checking the whole history after the fact. The pinned index
+// is deterministic: same protocol, config and seed, same first offender.
+func TestRideAlongFirstViolationPin(t *testing.T) {
+	rep, err := Run(naivefast.New(), Config{
+		Clients: 8, Txns: 96, Mix: workload.Balanced(), Seed: 2,
+		Servers: 2, ObjectsPerServer: 1,
+		RecordHistory: true, Certify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rep.Cert
+	if v.OK {
+		t.Fatal("naivefast certified clean — the ride-along lost the theorem's victim")
+	}
+	const pinnedFirst = 4 // seed 2's first offending commit, txn c4/1
+	if v.FirstViolation != pinnedFirst {
+		t.Fatalf("first violation at append %d (%s), pinned %d: %s",
+			v.FirstViolation, v.FirstViolationID, pinnedFirst, v.Reason)
+	}
+	if v.Appended != pinnedFirst+1 {
+		t.Fatalf("session appended %d commits past the violation", v.Appended-pinnedFirst-1)
+	}
+	if len(v.WitnessPrefix) != pinnedFirst+1 || v.WitnessPrefix[pinnedFirst] != v.FirstViolationID {
+		t.Fatalf("witness prefix malformed: %v", v.WitnessPrefix)
+	}
+	// Minimality: the prefix through the offender refutes under the batch
+	// solver, and re-feeding the records before it raises no violation.
+	// (The batch checker on the shorter prefix is no oracle here: it
+	// calls a read whose writer has not been collected yet a dangling
+	// read, where the session correctly parks it as pending.)
+	if pv := history.CheckBatch(rep.History.Prefix(pinnedFirst+1), rep.CertLevel); pv.OK {
+		t.Fatal("prefix through the first offending commit certifies clean")
+	}
+	s := history.NewSession(rep.History.Initials(), rep.CertLevel, pinnedFirst)
+	for k, rec := range rep.History.Records()[:pinnedFirst] {
+		if !s.Append(rec) {
+			t.Fatalf("session violates at %d on re-feed, first violation was %d", k, pinnedFirst)
+		}
+	}
+}
+
+// TestCertifyRefusesPastCeiling: the driver must refuse up front rather
+// than let a session capacity refusal masquerade as a violation, naming
+// the shared ceiling constant.
+func TestCertifyRefusesPastCeiling(t *testing.T) {
+	_, err := Run(cops.New(), Config{
+		Clients: 4, Txns: history.MaxTxns + 1, Certify: true,
+	})
+	if err == nil {
+		t.Fatalf("run certified %d transactions past the ceiling", history.MaxTxns+1)
+	}
+	if !strings.Contains(err.Error(), "history.MaxTxns") {
+		t.Fatalf("refusal does not name the shared ceiling constant: %v", err)
+	}
+}

@@ -5,6 +5,13 @@
 // completed operations into a history for consistency certification of
 // concurrent executions.
 //
+// Certification can ride along with the run itself (Config.Certify):
+// every committed transaction is appended to an incremental
+// history.Session at the protocol's claimed consistency level as it is
+// collected, so full-size load runs are certified without re-solving the
+// history afterwards, and a violating run is pinned to its first
+// offending commit (with the minimal witness prefix) in Report.Cert.
+//
 // Two load regimes are supported. Closed loop (the default) keeps every
 // client saturated: up to Pipeline invocations outstanding per client, a
 // new transaction submitted the moment one completes — this measures the
@@ -26,6 +33,7 @@ package driver
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/history"
 	"repro/internal/model"
@@ -64,10 +72,20 @@ type Config struct {
 	// low client counts).
 	MaxEvents int
 	// RecordHistory collects completed transactions into Report.History
-	// for consistency checking. The constraint-propagation checker
-	// certifies histories up to 512 transactions (accepting and
-	// refuting); keep Txns under that ceiling when set.
+	// for consistency checking. The checkers certify histories up to
+	// history.MaxTxns transactions (accepting and refuting); keep Txns at
+	// or under that ceiling when set.
 	RecordHistory bool
+	// Certify runs ride-along certification: every committed transaction
+	// is appended, as it is collected, to an incremental history.Session
+	// checking the protocol's claimed consistency level, so the full run
+	// is certified without re-solving the history afterwards and a
+	// violation is pinned to its first offending commit while the run is
+	// still in flight. Works in both load regimes, independent of
+	// RecordHistory. The verdict lands in Report.Cert and the cumulative
+	// wall-clock spent inside the session in Report.CertWall. Txns must
+	// stay at or below history.MaxTxns.
+	Certify bool
 	// KeepTrace retains the full kernel trace and payload registry
 	// instead of running in load mode.
 	KeepTrace bool
@@ -155,6 +173,16 @@ type Report struct {
 	// was set (nil otherwise), with the deployment's initial values, ready
 	// for history.Check*.
 	History *history.History
+
+	// Ride-along certification outcome (populated when Config.Certify was
+	// set): CertLevel is the consistency level checked (the protocol's
+	// claimed level), Cert the incremental session verdict — including
+	// the first offending commit index and minimal witness prefix on
+	// violation — and CertWall the cumulative wall-clock spent inside
+	// Session.Append/Finish (the one nondeterministic field of a run).
+	CertLevel string
+	Cert      *history.SessionVerdict
+	CertWall  time.Duration
 }
 
 func (r *Report) String() string {
@@ -199,6 +227,12 @@ type run struct {
 	// instant (nil in closed loop). Entries are dropped on collection so
 	// memory stays flat over long runs.
 	injectAt map[model.TxnID]int64
+	// sess is the ride-along certification session (nil unless
+	// Config.Certify); sealed reports it refused an append — the history
+	// is already refuted and later commits need not be fed.
+	sess     *history.Session
+	sealed   bool
+	certWall time.Duration
 }
 
 func newRun(d *protocol.Deployment, cfg Config) *run {
@@ -222,6 +256,10 @@ func newRun(d *protocol.Deployment, cfg Config) *run {
 	}
 	if cfg.RecordHistory {
 		r.rep.History = history.New(d.Initials())
+	}
+	if cfg.Certify {
+		r.rep.CertLevel = d.Proto.Claims().Consistency
+		r.sess = history.NewSession(d.Initials(), r.rep.CertLevel, cfg.Txns)
 	}
 	return r
 }
@@ -267,8 +305,19 @@ func (r *run) collect() {
 			} else {
 				r.wr.Add(l)
 			}
-			if r.rep.History != nil {
-				r.rep.History.AddResult(res)
+			if r.rep.History != nil || r.sess != nil {
+				rec := history.NewRecord(res)
+				if r.rep.History != nil {
+					r.rep.History.Add(rec)
+				}
+				if r.sess != nil && !r.sealed {
+					t0 := time.Now()
+					clean := r.sess.Append(rec)
+					r.certWall += time.Since(t0)
+					if !clean {
+						r.sealed = true
+					}
+				}
 			}
 		}
 	}
@@ -295,6 +344,13 @@ func (r *run) finish(start sim.Time) *Report {
 	if rep.Issued > 0 {
 		rep.AbortRate = float64(rep.Rejected) / float64(rep.Issued)
 	}
+	if r.sess != nil {
+		t0 := time.Now()
+		v := r.sess.Finish()
+		r.certWall += time.Since(t0)
+		rep.Cert = &v
+		rep.CertWall = r.certWall
+	}
 	return rep
 }
 
@@ -304,6 +360,12 @@ func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
 	cfg.defaults()
 	if len(d.Clients) < cfg.Clients {
 		return nil, fmt.Errorf("driver: deployment has %d clients, need %d", len(d.Clients), cfg.Clients)
+	}
+	if cfg.Certify && cfg.Txns > history.MaxTxns {
+		// Refuse up front: a capacity refusal from the session must never
+		// masquerade as a consistency violation in the report.
+		return nil, fmt.Errorf("driver: cannot certify %d transactions (checker ceiling history.MaxTxns = %d); lower Txns",
+			cfg.Txns, history.MaxTxns)
 	}
 	r := newRun(d, cfg)
 	if cfg.Rate > 0 {

@@ -19,6 +19,27 @@ func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
 // has reports whether i is in the set.
 func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
 
+// empty reports whether the set has no elements.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// grow returns a bitset with at least words words, preserving contents.
+// The receiver is returned unchanged when already wide enough.
+func (b bitset) grow(words int) bitset {
+	if len(b) >= words {
+		return b
+	}
+	out := make(bitset, words)
+	copy(out, b)
+	return out
+}
+
 // or unions o into b (capacities must match).
 func (b bitset) or(o bitset) {
 	for w := range b {

@@ -22,12 +22,15 @@ func fail(format string, args ...any) Verdict {
 	return Verdict{OK: false, Reason: fmt.Sprintf(format, args...)}
 }
 
-// MaxTxns bounds the constraint-propagation checkers. The limit is a
-// memory/CPU guard, not an algorithmic ceiling: the solver's bitset
-// closure is O(n²) space and certification of protocol histories is
-// routinely exercised at 128+ transactions (see scaling_test.go).
-// Callers sizing runs for certification must stay at or below it.
-const MaxTxns = 512
+// MaxTxns bounds the constraint-propagation checkers, batch and
+// incremental alike. The limit is a memory/CPU guard, not an algorithmic
+// ceiling: the closures are O(n²) space and ride-along certification is
+// routinely exercised on full 2000-transaction bench cells (see
+// scaling_test.go and session_test.go). It is the single named ceiling
+// every refusal reports — ptest.RunLoad, core.MeasureThroughputWith and
+// the cmd/bench -certify flag all guard against it by name — so sizing a
+// run for certification means staying at or below this constant.
+const MaxTxns = 4096
 
 // ov keys the writer lookup: (object, value) pairs are unique writers
 // under the paper's distinct-values assumption.
@@ -182,12 +185,39 @@ func (g *graph) witness(order []int) []model.TxnID {
 	return out
 }
 
-// Check dispatches to the checker matching a claimed consistency level
+// Check certifies a complete history at a claimed consistency level
 // ("causal", "read-atomic", "serializable", "strict-serializable"). Any
 // other level (including "none") falls back to the causal check, the
 // paper's baseline property. The load driver uses it to certify concurrent
 // executions at each protocol's claimed level.
+//
+// It is a thin wrapper over a one-shot incremental Session: the history
+// is appended record by record and the final verdict returned. Use
+// CheckIncremental for the full session verdict (first offending commit,
+// witness prefix), or CheckBatch for the retained one-shot solver.
 func Check(h *History, level string) Verdict {
+	return CheckIncremental(h, level).Verdict
+}
+
+// CheckIncremental runs a whole history through an incremental Session
+// and returns the full session verdict, including the first offending
+// commit index and minimal witness prefix on refutation.
+func CheckIncremental(h *History, level string) SessionVerdict {
+	s := NewSession(h.initial, level, h.Len())
+	for _, rec := range h.Records() {
+		if !s.Append(rec) {
+			break
+		}
+	}
+	return s.Finish()
+}
+
+// CheckBatch dispatches to the one-shot batch engines, which build the
+// full dependency graph and solve from scratch. It is retained as the
+// differential oracle for the incremental Session (the two must agree
+// verdict for verdict) and as the baseline of the incremental-vs-batch
+// cost comparison the bench reports.
+func CheckBatch(h *History, level string) Verdict {
 	switch level {
 	case "read-atomic":
 		return CheckReadAtomic(h)

@@ -11,11 +11,17 @@
 // is acyclic, and for every client c there is a linear extension of it in
 // which every transaction of c is legal.
 //
-// Two checking engines implement that search: the production path is a
-// constraint-propagation solver over ordering literals (solver.go,
-// certifies accepting and refuting histories up to 512 transactions),
-// and the original exhaustive enumeration survives as its
-// differential-testing oracle (exhaustive.go, ≤ 62 transactions).
+// Three checking engines implement that search, all bounded by the
+// shared ceiling MaxTxns. The production path is the incremental Session
+// (session.go): it carries the transitively closed partial order and the
+// anti-dependency clause set across commits, so a load run is certified
+// as it executes (Check is a thin batch wrapper over a one-shot session)
+// and a violation is pinned to its first offending commit with the
+// minimal witness prefix. The one-shot constraint-propagation solver
+// over ordering literals (solver.go, entry CheckBatch) re-solves a
+// complete history from scratch and serves as the session's differential
+// oracle and cost baseline; the original exhaustive enumeration survives
+// as the oracle of last resort (exhaustive.go, ≤ 62 transactions).
 package history
 
 import (
@@ -87,8 +93,9 @@ func (h *History) Add(rec *TxnRecord) {
 	h.byCli[rec.Client] = append(h.byCli[rec.Client], rec)
 }
 
-// AddResult converts a protocol result into a record and appends it.
-func (h *History) AddResult(res *model.Result) {
+// NewRecord converts a protocol result into a transaction record, ready
+// for History.Add or Session.Append.
+func NewRecord(res *model.Result) *TxnRecord {
 	rec := &TxnRecord{
 		ID:        res.Txn.ID,
 		Client:    res.Txn.ID.Client,
@@ -100,7 +107,23 @@ func (h *History) AddResult(res *model.Result) {
 	for _, obj := range res.Txn.ReadSet {
 		rec.Reads[obj] = res.Value(obj)
 	}
-	h.Add(rec)
+	return rec
+}
+
+// AddResult converts a protocol result into a record and appends it.
+func (h *History) AddResult(res *model.Result) {
+	h.Add(NewRecord(res))
+}
+
+// Prefix returns a new history over the first n records (in insertion
+// order) sharing the receiver's initial values. The records themselves
+// are shared, not copied. It panics if n exceeds Len.
+func (h *History) Prefix(n int) *History {
+	out := New(h.initial)
+	for _, rec := range h.records[:n] {
+		out.Add(rec)
+	}
+	return out
 }
 
 // Len returns the number of records.
@@ -124,6 +147,16 @@ func (h *History) ByClient(c string) []*TxnRecord { return h.byCli[c] }
 
 // Initial returns the initial value of obj.
 func (h *History) Initial(obj string) model.Value { return h.initial[obj] }
+
+// Initials returns a copy of the initial-value map, e.g. for seeding a
+// Session over this history's records.
+func (h *History) Initials() map[string]model.Value {
+	out := make(map[string]model.Value, len(h.initial))
+	for k, v := range h.initial {
+		out[k] = v
+	}
+	return out
+}
 
 func (h *History) String() string {
 	s := ""

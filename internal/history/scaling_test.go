@@ -46,7 +46,8 @@ func TestCheckerScaling128(t *testing.T) {
 }
 
 // TestCheckerScaling256 doubles the window to prove headroom beyond the
-// acceptance bar (the solver's ceiling is MaxTxns = 512).
+// acceptance bar (the shared ceiling is MaxTxns = 4096; full-grid
+// 2000-transaction windows are covered by TestSessionFullGridWindow).
 func TestCheckerScaling256(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -1,0 +1,645 @@
+// Online incremental certification: a Session carries the transitively
+// closed partial order and the anti-dependency clause set of a history
+// ACROSS commits, so a load run can be certified as it executes instead
+// of re-solving the whole prefix per call.
+//
+// The key observation is that everything the batch solver derives from
+// the history is monotone in the prefix: committing one more transaction
+// only ever ADDS base edges (program order, reads-from, real time),
+// ADDS unit edges (an initial-value read must precede every later writer
+// of the object) and ADDS anti-dependency clauses (a new writer of an
+// object some earlier transaction read threads a new (o → W) ∨ (t → o)
+// disjunction). Nothing is ever retracted, so the session can keep the
+// closed base order and the clause set and extend them per Append with
+// rollback-free propagation — and the first append whose constraint set
+// admits no satisfying order IS the first offending commit, with the
+// appended prefix as the minimal refutable witness.
+//
+// Branching decisions, unlike constraints, are not monotone, so the
+// session does not persist them as facts. Instead it retains the last
+// satisfying order found (the "model") and repairs it greedily: a new
+// base edge is folded into the model, and a new clause is satisfied by
+// committing whichever disjunct the model can absorb without a cycle.
+// Only when repair fails — the model contradicts the new constraints —
+// does the session fall back to a fresh solver search from the retained
+// base and clause set; only when THAT fails is a violation declared.
+// On the accepting runs certification rides along with, repair almost
+// always succeeds and an Append costs a handful of bitset operations.
+//
+// Reads may observe writers that have not been appended yet (the driver
+// collects completions per client, not in dependency order), so the
+// session parks such reads as pending and threads their edges and
+// clauses when the writer commits; a read still pending when Finish is
+// called is the batch checker's dangling-read refutation.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// SessionVerdict is the outcome of an incremental certification run.
+type SessionVerdict struct {
+	Verdict
+	// FirstViolation is the 0-based append index of the first offending
+	// commit — the first transaction whose appended prefix admits no
+	// legal serialization (or is malformed). It is -1 when the history
+	// certified clean, and also -1 when the session refused for capacity
+	// (more than MaxTxns appends).
+	FirstViolation int
+	// FirstViolationID is the transaction appended at FirstViolation.
+	FirstViolationID model.TxnID
+	// WitnessPrefix is the minimal refutable prefix: the IDs of every
+	// transaction appended up to and including the first offending
+	// commit, in append order. Nil when the history certified clean.
+	WitnessPrefix []model.TxnID
+	// Appended is the number of transactions the session accepted
+	// (violating appends included); Resolves counts the full solver
+	// searches the session had to fall back to (0 on a run certified
+	// entirely by model repair).
+	Appended int
+	Resolves int
+}
+
+// obligation is one value read awaiting or holding its writer: reader
+// read obj=val, written by txn index writer (-1 while the writer has not
+// been appended yet).
+type obligation struct {
+	reader int
+	obj    string
+	val    model.Value
+	writer int
+}
+
+// clientState is the per-serialization constraint state. Causal
+// consistency requires one serialization per client (each legal only for
+// that client's transactions), so the session keeps one state per
+// reading client; the total-order levels use a single shared state.
+type clientState struct {
+	client string
+	// base is the forced order: every global edge plus this
+	// serialization's unit edges. Monotone — edges are never removed.
+	base *orderClosure
+	// model is the last satisfying extension of base (base plus committed
+	// clause disjuncts). nil transiently when repair failed and a solver
+	// re-search is owed at the end of the current Append.
+	model *orderClosure
+	// clauses is the retained anti-dependency clause set. Clauses
+	// satisfied by base are pruned lazily at each re-solve.
+	clauses []clause
+}
+
+// Session certifies a history incrementally at one consistency level:
+// Append each transaction as it commits (in any order consistent with
+// per-client program order), then Finish for the verdict. Append reports
+// false as soon as the appended prefix is refutable, which is how a load
+// run learns about the first offending commit while still running.
+type Session struct {
+	level    string
+	realTime bool // strict-serializable: completed-before-invoked edges
+	perCli   bool // causal: one serialization per reading client
+	ra       bool // read-atomic: pairwise fracture checks, no closures
+
+	initial map[string]model.Value
+
+	txns   []*TxnRecord
+	index  map[model.TxnID]int
+	lastOf map[string]int // last appended txn per client (program order)
+
+	writes    []map[string]model.Value // final value per object, per txn
+	writer    map[ov]int
+	writersOf map[string][]int
+
+	valueReaders map[string][]*obligation
+	initReaders  map[string][]int
+	pending      map[ov][]*obligation
+	pendingCnt   int
+	unresolved   []int // per-txn count of reads still awaiting a writer
+
+	words  int // current bitset word capacity of every closure
+	base   *orderClosure
+	states map[string]*clientState
+	order  []*clientState // states in creation order (deterministic)
+
+	resolves int
+	done     bool
+	sv       *SessionVerdict
+}
+
+// NewSession starts an incremental certification at the given level
+// ("causal", "read-atomic", "serializable", "strict-serializable"; any
+// other level checks causal, mirroring Check). initial gives the initial
+// value per object; capHint sizes the closure bitsets for the expected
+// transaction count (they grow if exceeded).
+func NewSession(initial map[string]model.Value, level string, capHint int) *Session {
+	s := &Session{
+		level:        level,
+		initial:      make(map[string]model.Value, len(initial)),
+		index:        make(map[model.TxnID]int),
+		lastOf:       make(map[string]int),
+		writer:       make(map[ov]int),
+		writersOf:    make(map[string][]int),
+		valueReaders: make(map[string][]*obligation),
+		initReaders:  make(map[string][]int),
+		pending:      make(map[ov][]*obligation),
+		states:       make(map[string]*clientState),
+	}
+	for k, v := range initial {
+		s.initial[k] = v
+	}
+	switch level {
+	case "read-atomic":
+		s.ra = true
+	case "serializable":
+	case "strict-serializable":
+		s.realTime = true
+	default:
+		s.level = "causal"
+		s.perCli = true
+	}
+	if capHint < 64 {
+		capHint = 64
+	}
+	if capHint > MaxTxns {
+		capHint = MaxTxns
+	}
+	s.words = (capHint + 63) / 64
+	if !s.ra {
+		s.base = &orderClosure{}
+		if !s.perCli {
+			// Total-order levels: one shared serialization state whose
+			// base IS the global closure (aliased, not cloned — there is
+			// only one serialization, so its unit edges are global facts
+			// and maintaining a second identical closure would double the
+			// forced-edge cost).
+			st := &clientState{base: s.base, model: &orderClosure{}}
+			s.states[""] = st
+			s.order = append(s.order, st)
+		}
+	}
+	return s
+}
+
+// Initial returns the initial value of obj (the zero Value when unset).
+func (s *Session) Initial(obj string) model.Value { return s.initial[obj] }
+
+// Appended returns the number of transactions appended so far.
+func (s *Session) Appended() int { return len(s.txns) }
+
+// Append feeds the next committed transaction to the session and reports
+// whether the appended prefix still admits a legal serialization. Once
+// it returns false the session is sealed: the verdict (with the first
+// offending commit) is available from Finish and later appends are
+// ignored.
+func (s *Session) Append(rec *TxnRecord) bool {
+	if s.done {
+		return false
+	}
+	i := len(s.txns)
+	if i >= MaxTxns {
+		s.done = true
+		s.sv = &SessionVerdict{
+			Verdict:        fail("history too large for exact checking: > %d transactions", MaxTxns),
+			FirstViolation: -1,
+			Appended:       len(s.txns),
+			Resolves:       s.resolves,
+		}
+		return false
+	}
+	if _, dup := s.index[rec.ID]; dup {
+		// Append before sealing so the witness prefix includes the
+		// offending commit itself, like every other violation path.
+		s.txns = append(s.txns, rec)
+		return s.violate(i, rec.ID, "duplicate transaction id %s", rec.ID)
+	}
+	s.txns = append(s.txns, rec)
+	s.index[rec.ID] = i
+	s.unresolved = append(s.unresolved, 0)
+
+	// Final writes (last write per object wins) and value distinctness.
+	w := make(map[string]model.Value, len(rec.Writes))
+	for _, wr := range rec.Writes {
+		w[wr.Object] = wr.Value
+	}
+	s.writes = append(s.writes, w)
+	wobjs := make([]string, 0, len(w))
+	for obj := range w {
+		wobjs = append(wobjs, obj)
+	}
+	sort.Strings(wobjs)
+	for _, obj := range wobjs {
+		val := w[obj]
+		if val == s.Initial(obj) {
+			return s.violate(i, rec.ID,
+				"values not distinct: %s=%s written by %s equals the initial value", obj, val, rec.ID)
+		}
+		if j, dup := s.writer[ov{obj, val}]; dup && j != i {
+			return s.violate(i, rec.ID,
+				"values not distinct: %s=%s written by both %s and %s", obj, val, s.txns[j].ID, rec.ID)
+		}
+		s.writer[ov{obj, val}] = i
+		s.writersOf[obj] = append(s.writersOf[obj], i)
+	}
+
+	if !s.ra {
+		s.addNode(i)
+		// Program order.
+		if prev, seen := s.lastOf[rec.Client]; seen {
+			if !s.forceGlobal(i, prev, i) {
+				return false
+			}
+		}
+		// Real time (strict serializability): nearest neighbours first so
+		// older pairs are usually already implied transitively.
+		if s.realTime {
+			for j := i - 1; j >= 0; j-- {
+				a := s.txns[j]
+				if a.Completed >= 0 && a.Completed < rec.Invoked {
+					if !s.forceGlobal(i, j, i) {
+						return false
+					}
+				}
+				if rec.Completed >= 0 && rec.Completed < a.Invoked {
+					if !s.forceGlobal(i, i, j) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	s.lastOf[rec.Client] = i
+
+	// The new transaction as a writer: thread the obligations of every
+	// EARLIER read of the objects it wrote.
+	for _, obj := range wobjs {
+		for _, r := range s.initReaders[obj] {
+			// An initial-value read must precede every writer of the object.
+			if r != i && !s.ra {
+				if !s.forceIn(i, s.stateFor(s.txns[r].Client), r, i) {
+					return false
+				}
+			}
+		}
+		if !s.ra {
+			for _, ob := range s.valueReaders[obj] {
+				if ob.writer < 0 || ob.writer == i || ob.reader == i {
+					continue // pending (threaded at resolution), or own
+				}
+				// Anti-dependency: the new writer must not land between the
+				// read's writer and the read. Reader-before-new-writer first:
+				// for a run appended in rough time order that disjunct is the
+				// one the model usually absorbs.
+				s.addClause(s.stateFor(s.txns[ob.reader].Client),
+					clause{ob.reader, i, i, ob.writer})
+			}
+		}
+		// Reads that were waiting for exactly this write resolve now.
+		key := ov{obj, w[obj]}
+		if waiting := s.pending[key]; len(waiting) > 0 {
+			delete(s.pending, key)
+			for _, ob := range waiting {
+				s.unresolved[ob.reader]--
+				s.pendingCnt--
+				if !s.bind(i, ob, i) {
+					return false
+				}
+				if s.ra && s.unresolved[ob.reader] == 0 {
+					if !s.checkReadAtomic(i, ob.reader) {
+						return false
+					}
+				}
+			}
+		}
+	}
+
+	// The new transaction as a reader.
+	for _, obj := range sortedObjects(rec.Reads) {
+		val := rec.Reads[obj]
+		if val == s.Initial(obj) {
+			s.initReaders[obj] = append(s.initReaders[obj], i)
+			if s.ra {
+				continue
+			}
+			st := s.stateFor(rec.Client)
+			for _, o := range s.writersOf[obj] {
+				if o == i {
+					continue // own write: reads precede writes
+				}
+				if !s.forceIn(i, st, i, o) {
+					return false
+				}
+			}
+			continue
+		}
+		ob := &obligation{reader: i, obj: obj, val: val, writer: -1}
+		s.valueReaders[obj] = append(s.valueReaders[obj], ob)
+		if wi, found := s.writer[ov{obj, val}]; found {
+			if !s.bind(i, ob, wi) {
+				return false
+			}
+		} else {
+			s.pending[ov{obj, val}] = append(s.pending[ov{obj, val}], ob)
+			s.unresolved[i]++
+			s.pendingCnt++
+		}
+	}
+	if s.ra && len(rec.Reads) > 0 && s.unresolved[i] == 0 {
+		if !s.checkReadAtomic(i, i) {
+			return false
+		}
+	}
+
+	// Any state whose model could not absorb the new constraints owes a
+	// full solver search; failure here is the first offending commit.
+	for _, st := range s.order {
+		if st.model == nil && !s.resolve(i, st) {
+			return false
+		}
+	}
+	return true
+}
+
+// Finish seals the session and returns the verdict. Reads still awaiting
+// a writer refute the history (the batch checker's dangling read); an
+// accepting verdict carries a witness serialization extended from the
+// retained model.
+func (s *Session) Finish() SessionVerdict {
+	if s.sv != nil {
+		return *s.sv
+	}
+	if s.pendingCnt > 0 {
+		first := -1
+		var firstOb *obligation
+		for _, waiting := range s.pending {
+			for _, ob := range waiting {
+				if first < 0 || ob.reader < first ||
+					(ob.reader == first && ob.obj < firstOb.obj) {
+					first, firstOb = ob.reader, ob
+				}
+			}
+		}
+		s.violate(first, s.txns[first].ID,
+			"dangling read: %s read %s=%s, never written", s.txns[first].ID, firstOb.obj, firstOb.val)
+		return *s.sv
+	}
+	var witness []model.TxnID
+	if !s.ra && len(s.order) > 0 {
+		// Mirror the batch checkers: the witness is the serialization of
+		// the last state checked (for causal, the last reading client in
+		// sorted order; for the total orders, the single shared state).
+		st := s.order[0]
+		if s.perCli {
+			for _, other := range s.order[1:] {
+				if other.client > st.client {
+					st = other
+				}
+			}
+		}
+		witness = make([]model.TxnID, 0, len(s.txns))
+		for _, idx := range extendClosure(st.model) {
+			witness = append(witness, s.txns[idx].ID)
+		}
+	}
+	s.done = true
+	s.sv = &SessionVerdict{
+		Verdict:        ok(witness),
+		FirstViolation: -1,
+		Appended:       len(s.txns),
+		Resolves:       s.resolves,
+	}
+	return *s.sv
+}
+
+// violate seals the session with a refutation first established at
+// append index cur.
+func (s *Session) violate(cur int, id model.TxnID, format string, args ...any) bool {
+	s.done = true
+	prefix := make([]model.TxnID, 0, cur+1)
+	for k := 0; k <= cur && k < len(s.txns); k++ {
+		prefix = append(prefix, s.txns[k].ID)
+	}
+	s.sv = &SessionVerdict{
+		Verdict:          fail(format, args...),
+		FirstViolation:   cur,
+		FirstViolationID: id,
+		WitnessPrefix:    prefix,
+		Appended:         len(s.txns),
+		Resolves:         s.resolves,
+	}
+	return false
+}
+
+// noSerialization is the per-level refutation message, matching the
+// batch checkers.
+func (s *Session) noSerialization(client string) string {
+	switch {
+	case s.perCli:
+		return fmt.Sprintf("no causal serialization exists for client %s", client)
+	case s.realTime:
+		return "no strict serialization exists"
+	default:
+		return "no serialization exists"
+	}
+}
+
+// cyclicBase is the per-level message for a cycle in the forced global
+// order, matching the batch checkers.
+func (s *Session) cyclicBase() string {
+	switch {
+	case s.perCli:
+		return "causal relation is cyclic"
+	case s.realTime:
+		return "real-time-augmented dependency relation is cyclic"
+	default:
+		return "dependency relation is cyclic"
+	}
+}
+
+// addNode grows every closure by one node (and widens the bitsets when
+// the capacity is exhausted). It cannot fail: capacity refusal happens
+// before it, at the MaxTxns check.
+func (s *Session) addNode(i int) {
+	if i >= s.words*64 {
+		s.words *= 2
+		s.base.growWords(s.words)
+		for _, st := range s.order {
+			if st.base != s.base {
+				st.base.growWords(s.words)
+			}
+			if st.model != nil {
+				st.model.growWords(s.words)
+			}
+		}
+	}
+	s.base.addNode(s.words)
+	for _, st := range s.order {
+		if st.base != s.base {
+			st.base.addNode(s.words)
+		}
+		if st.model != nil {
+			st.model.addNode(s.words)
+		}
+	}
+}
+
+// stateFor returns (creating on first use) the serialization state the
+// given client's read obligations constrain.
+func (s *Session) stateFor(client string) *clientState {
+	if !s.perCli {
+		return s.states[""]
+	}
+	if st, found := s.states[client]; found {
+		return st
+	}
+	st := &clientState{client: client, base: s.base.clone(), model: s.base.clone()}
+	s.states[client] = st
+	s.order = append(s.order, st)
+	return st
+}
+
+// forceGlobal adds a forced edge of the global relation (program order,
+// reads-from, real time) to the base and every state. A cycle in the
+// global base refutes the history outright.
+func (s *Session) forceGlobal(cur, a, b int) bool {
+	if !s.base.addEdge(a, b) {
+		return s.violate(cur, s.txns[cur].ID, "%s", s.cyclicBase())
+	}
+	for _, st := range s.order {
+		if !s.forceIn(cur, st, a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// forceIn adds a forced edge to one state's base and folds it into the
+// model (invalidating the model on conflict; a base conflict refutes).
+func (s *Session) forceIn(cur int, st *clientState, a, b int) bool {
+	if !st.base.addEdge(a, b) {
+		return s.violate(cur, s.txns[cur].ID, "%s", s.noSerialization(st.client))
+	}
+	if st.model != nil && !st.model.addEdge(a, b) {
+		st.model = nil
+	}
+	return true
+}
+
+// addClause retains an anti-dependency clause and repairs the model:
+// clauses the base already satisfies are dropped, clauses the model
+// satisfies cost nothing, and otherwise the model greedily commits the
+// first disjunct it can absorb. If neither fits, the model is
+// invalidated and Append falls back to a full solver search.
+func (s *Session) addClause(st *clientState, c clause) {
+	if st.base.succ[c.a1].has(c.b1) || st.base.succ[c.a2].has(c.b2) {
+		return
+	}
+	st.clauses = append(st.clauses, c)
+	if st.model == nil {
+		return
+	}
+	if st.model.succ[c.a1].has(c.b1) || st.model.succ[c.a2].has(c.b2) {
+		return
+	}
+	if st.model.addEdge(c.a1, c.b1) || st.model.addEdge(c.a2, c.b2) {
+		return
+	}
+	st.model = nil
+}
+
+// bind resolves a value read to its writer: the reads-from edge becomes
+// part of the global base and the read's anti-dependency clauses are
+// threaded against every other known writer of the object (writers still
+// to come are threaded by the writer-side pass of Append).
+func (s *Session) bind(cur int, ob *obligation, wi int) bool {
+	ob.writer = wi
+	if ob.reader == wi {
+		if s.ra {
+			return true // reading your own write is not a fracture
+		}
+		return s.violate(cur, s.txns[cur].ID, "%s",
+			s.noSerialization(s.txns[ob.reader].Client))
+	}
+	if s.ra {
+		return true
+	}
+	if !s.forceGlobal(cur, wi, ob.reader) {
+		return false
+	}
+	st := s.stateFor(s.txns[ob.reader].Client)
+	for _, o := range s.writersOf[ob.obj] {
+		if o == wi || o == ob.reader {
+			continue
+		}
+		s.addClause(st, clause{o, wi, ob.reader, o})
+	}
+	return true
+}
+
+// resolve rebuilds a state's model by a full solver search over the
+// retained base and clause set. Failure means the appended prefix admits
+// no legal serialization: the current append is the first offending
+// commit.
+func (s *Session) resolve(cur int, st *clientState) bool {
+	live := st.clauses[:0]
+	for _, c := range st.clauses {
+		if st.base.succ[c.a1].has(c.b1) || st.base.succ[c.a2].has(c.b2) {
+			continue // satisfied by the base: monotone, stays satisfied
+		}
+		live = append(live, c)
+	}
+	st.clauses = live
+	s.resolves++
+	model, found := newClauseSolver(st.base.clone(), st.clauses).solveClosure()
+	if !found {
+		return s.violate(cur, s.txns[cur].ID, "%s", s.noSerialization(st.client))
+	}
+	st.model = model
+	return true
+}
+
+// checkReadAtomic runs the pairwise fracture check for reader (all of
+// whose reads have resolved writers) at append index cur, mirroring
+// CheckReadAtomic.
+func (s *Session) checkReadAtomic(cur, reader int) bool {
+	t := s.txns[reader]
+	objs := sortedObjects(t.Reads)
+	writerOf := func(obj string) int {
+		val := t.Reads[obj]
+		if val == s.Initial(obj) {
+			return -1 // initial pseudo-writer: older than everything
+		}
+		return s.writer[ov{obj, val}]
+	}
+	for _, obj := range objs {
+		w := writerOf(obj)
+		if w < 0 {
+			continue
+		}
+		for _, obj2 := range objs {
+			if obj2 == obj {
+				continue
+			}
+			if _, sibling := s.writes[w][obj2]; !sibling {
+				continue
+			}
+			w2 := writerOf(obj2)
+			if w2 == w {
+				continue
+			}
+			if w2 < 0 {
+				return s.violate(cur, s.txns[cur].ID,
+					"fractured read: %s read %s from %s but %s from the initial value",
+					t.ID, obj, s.txns[w].ID, obj2)
+			}
+			a, b := s.txns[w2], s.txns[w]
+			if a.Completed >= 0 && a.Completed < b.Invoked {
+				return s.violate(cur, s.txns[cur].ID,
+					"fractured read: %s read %s from %s but %s from older %s",
+					t.ID, obj, b.ID, obj2, a.ID)
+			}
+		}
+	}
+	return true
+}

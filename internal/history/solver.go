@@ -81,6 +81,23 @@ func (c *orderClosure) copyFrom(o *orderClosure) {
 	}
 }
 
+// addNode appends an isolated node with row capacity words and returns
+// its index. Used by the incremental session, whose node count grows as
+// transactions commit (the batch path sizes the closure up front).
+func (c *orderClosure) addNode(words int) int {
+	c.succ = append(c.succ, make(bitset, words))
+	c.pred = append(c.pred, make(bitset, words))
+	return len(c.succ) - 1
+}
+
+// growWords widens every row to at least words words.
+func (c *orderClosure) growWords(words int) {
+	for i := range c.succ {
+		c.succ[i] = c.succ[i].grow(words)
+		c.pred[i] = c.pred[i].grow(words)
+	}
+}
+
 // addEdge orders a strictly before b and re-closes transitively.
 // It reports false on conflict (b is already ordered before a).
 func (c *orderClosure) addEdge(a, b int) bool {
@@ -92,6 +109,24 @@ func (c *orderClosure) addEdge(a, b int) bool {
 	}
 	if c.succ[b].has(a) {
 		return false
+	}
+	// Fast path for the incremental session's common shape: edges point at
+	// a transaction with no successors yet (the one just appended), so the
+	// closure update degenerates to single-bit sets instead of word-wise
+	// unions over the whole row.
+	if c.succ[b].empty() {
+		c.succ[a].set(b)
+		c.pred[a].forEach(func(x int) { c.succ[x].set(b) })
+		c.pred[b].or(c.pred[a])
+		c.pred[b].set(a)
+		return true
+	}
+	if c.pred[a].empty() {
+		c.succ[a].or(c.succ[b])
+		c.succ[a].set(b)
+		c.pred[b].set(a)
+		c.succ[b].forEach(func(y int) { c.pred[y].set(a) })
+		return true
 	}
 	// Everything at or before a precedes everything at or after b.
 	after := c.succ[b]
@@ -119,7 +154,6 @@ type clause struct {
 // solver searches for an extension of the base order satisfying every
 // legality clause of the transactions in checkSet.
 type solver struct {
-	g       *graph
 	order   *orderClosure
 	clauses []clause
 	// failed memoizes refuted closure states (packed succ bitsets), the
@@ -136,7 +170,7 @@ type solver struct {
 // txns) over the given base closure. The closure is owned by the solver
 // afterwards.
 func newSolver(g *graph, base *orderClosure, checkSet bitset) *solver {
-	s := &solver{g: g, order: base, failed: make(map[string]struct{})}
+	s := &solver{order: base, failed: make(map[string]struct{})}
 	for t := range g.txns {
 		if checkSet != nil && !checkSet.has(t) {
 			continue
@@ -226,6 +260,13 @@ func (s *solver) key() string {
 	return string(buf)
 }
 
+// newClauseSolver builds a solver over a pre-built clause set, for the
+// incremental session, which constructs clauses itself as transactions
+// commit. The closure is owned by the solver afterwards.
+func newClauseSolver(order *orderClosure, clauses []clause) *solver {
+	return &solver{order: order, clauses: clauses, failed: make(map[string]struct{})}
+}
+
 // solve runs the search and, on success, returns the deterministic
 // smallest-index-first linear extension of the satisfying order.
 func (s *solver) solve() ([]int, bool) {
@@ -235,7 +276,16 @@ func (s *solver) solve() ([]int, bool) {
 	if !s.search() {
 		return nil, false
 	}
-	return s.extend(), true
+	return extendClosure(s.order), true
+}
+
+// solveClosure runs the search and, on success, returns the satisfying
+// partial order itself (for the session's retained model).
+func (s *solver) solveClosure() (*orderClosure, bool) {
+	if s.unsat || !s.search() {
+		return nil, false
+	}
+	return s.order, true
 }
 
 func (s *solver) search() bool {
@@ -270,15 +320,18 @@ func (s *solver) search() bool {
 	return false
 }
 
-// extend produces the smallest-index-first linear extension of the final
-// partial order.
-func (s *solver) extend() []int {
-	n := len(s.g.txns)
-	placed := newBitset(n)
+// extendClosure produces the smallest-index-first linear extension of a
+// transitively closed partial order.
+func extendClosure(c *orderClosure) []int {
+	n := len(c.succ)
+	var placed bitset
+	if n > 0 {
+		placed = make(bitset, len(c.pred[0]))
+	}
 	order := make([]int, 0, n)
 	for len(order) < n {
 		for i := 0; i < n; i++ {
-			if !placed.has(i) && placed.containsAll(s.order.pred[i]) {
+			if !placed.has(i) && placed.containsAll(c.pred[i]) {
 				placed.set(i)
 				order = append(order, i)
 				break

@@ -17,11 +17,14 @@ import (
 const loadRate = 1000
 
 // RunLoad drives the protocol through a concurrent driver sweep — one
-// closed-loop and one open-loop run per seed — and certifies each
-// recorded history against the protocol's claimed consistency level via
-// history.Check. It is the concurrency counterpart of Run's sequential
-// suite: every protocol must survive real overlap, and the theorem's
-// victims must be caught violating.
+// closed-loop and one open-loop run per seed — with ride-along
+// certification at the protocol's claimed consistency level: an
+// incremental history.Session checks every commit as it lands, and the
+// recorded history is re-checked by the batch solver, which must agree
+// verdict for verdict. It is the concurrency counterpart of Run's
+// sequential suite: every protocol must survive real overlap, and the
+// theorem's victims must be caught violating — at a pinned first
+// offending commit whose prefix itself refutes.
 //
 // Expectations come from the load fields of Expect: ViolatesUnderLoad
 // requires at least one sweep to fail certification; FractureNote marks
@@ -43,11 +46,12 @@ func RunLoad(t *testing.T, p protocol.Protocol, e Expect) {
 		txns = 72
 	}
 	if txns > history.MaxTxns {
-		// Refuse up front: past the ceiling history.Check returns a
-		// capacity refusal, which the ViolatesUnderLoad branch below
-		// would otherwise count as the expected violation — a vacuous
-		// pass with the checker never actually running.
-		t.Fatalf("LoadTxns %d exceeds the checker ceiling %d", txns, history.MaxTxns)
+		// Refuse up front: past the shared checker ceiling the driver
+		// refuses to certify (and a capacity refusal must never count as
+		// the expected violation — a vacuous pass with the checker never
+		// actually running). The same named constant backs the cmd/bench
+		// -certify refusal.
+		t.Fatalf("LoadTxns %d exceeds the checker ceiling history.MaxTxns = %d", txns, history.MaxTxns)
 	}
 	srv, ops := e.Servers, e.ObjectsPerServer
 	if srv == 0 {
@@ -68,7 +72,7 @@ func RunLoad(t *testing.T, p protocol.Protocol, e Expect) {
 			rep, err := driver.Run(p, driver.Config{
 				Clients: 8, Txns: txns, Mix: workload.Balanced(), Seed: seed,
 				Servers: srv, ObjectsPerServer: ops,
-				RecordHistory: true, Rate: rate,
+				RecordHistory: true, Rate: rate, Certify: true,
 			})
 			if err != nil {
 				t.Fatalf("%s-loop run (seed %d): %v", mode, seed, err)
@@ -84,7 +88,31 @@ func RunLoad(t *testing.T, p protocol.Protocol, e Expect) {
 				t.Fatalf("open-loop run (seed %d): %d queueing samples for %d commits",
 					seed, rep.QueueDelay.N, rep.Committed)
 			}
-			v := history.Check(rep.History, level)
+			v := *rep.Cert
+			// The ride-along session and the one-shot batch solver must
+			// agree on every sweep of every protocol — this is the
+			// conformance half of the incremental checker's contract.
+			if batch := history.CheckBatch(rep.History, level); batch.OK != v.OK {
+				t.Fatalf("%s-loop run (seed %d): ride-along session says OK=%v (%s), batch says OK=%v (%s)",
+					mode, seed, v.OK, v.Reason, batch.OK, batch.Reason)
+			}
+			if !v.OK && e.ViolatesUnderLoad {
+				// A violation must be pinned to its first offending
+				// commit, and the appended prefix through it must itself
+				// refute.
+				if v.FirstViolation < 0 || v.FirstViolation >= rep.History.Len() {
+					t.Fatalf("%s-loop run (seed %d): first violation index %d out of range: %s",
+						mode, seed, v.FirstViolation, v.Reason)
+				}
+				if len(v.WitnessPrefix) != v.FirstViolation+1 {
+					t.Fatalf("%s-loop run (seed %d): witness prefix has %d entries for first violation %d",
+						mode, seed, len(v.WitnessPrefix), v.FirstViolation)
+				}
+				if pv := history.CheckBatch(rep.History.Prefix(v.FirstViolation+1), level); pv.OK {
+					t.Fatalf("%s-loop run (seed %d): prefix through first offending commit %d certifies clean",
+						mode, seed, v.FirstViolation)
+				}
+			}
 			switch {
 			case v.OK:
 				// certified at the claimed level

@@ -58,10 +58,11 @@ type Expect struct {
 	// manifest.
 	LoadSeeds []int64
 	// LoadTxns is the transaction count per load run (default 72). The
-	// constraint-propagation checker certifies accepting AND refuting
-	// histories well past 128 transactions (ceiling 512), so suites are
-	// free to sweep long concurrent windows; violators no longer need a
-	// reduced window for refutation to finish.
+	// incremental ride-along session certifies accepting AND refuting
+	// histories up to the shared checker ceiling history.MaxTxns — full
+	// bench-grid-sized windows — so suites are free to sweep long
+	// concurrent windows; violators no longer need a reduced window for
+	// refutation to finish.
 	LoadTxns int
 }
 

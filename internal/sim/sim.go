@@ -17,6 +17,14 @@
 // adversary uses to construct the indistinguishable executions of the
 // impossibility proof (Constructions 1 and 2, and the β → β_p·β_s
 // splitting of Lemma 3).
+//
+// Beyond the proof machinery, the package carries the load-measurement
+// substrate: the discrete-event Network scheduler (due deliveries →
+// ready steps → clock jump, with a time-leap past parked servers that
+// declare a wake instant via Waker), seeded arrival processes for
+// open-loop injection (arrivals.go), Kernel.AdvanceTo for horizon-
+// bounded runs, and a load mode (SetTraceCap/SetPayloadRetention) that
+// keeps memory flat over millions of events.
 package sim
 
 import "fmt"
