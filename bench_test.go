@@ -216,6 +216,36 @@ func BenchmarkDriverEventRate(b *testing.B) {
 	b.ReportMetric(float64(evPerRun), "events/run")
 }
 
+// BenchmarkSteppingEngines compares the two kernel stepping engines on
+// the same 8-server 64-client cell (E12): the legacy serial scheduler
+// (workers=0), sharded stepping executed serially (workers=1, the
+// oracle schedule) and on a 4-goroutine pool (workers=4). Reported
+// metric for sharded runs: events ÷ critical-path events — the measured
+// shard-parallelism, i.e. the multi-core speedup ceiling of the cell.
+func BenchmarkSteppingEngines(b *testing.B) {
+	for _, workers := range []int{0, 1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var par float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.MeasureThroughputWith(core.ByName("cops"), workload.ReadHeavy(),
+					64, 2000, 42, core.ThroughputOptions{Servers: 8, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Incomplete != 0 {
+					b.Fatalf("%d transactions incomplete", rep.Incomplete)
+				}
+				if rep.Sharding != nil {
+					par = float64(rep.Sharding.Events) / float64(rep.Sharding.CriticalEvents)
+				}
+			}
+			if par > 0 {
+				b.ReportMetric(par, "shard-parallelism")
+			}
+		})
+	}
+}
+
 // --- substrate benchmarks (regression tracking) ---
 
 func BenchmarkCausalChecker(b *testing.B) {

@@ -15,6 +15,8 @@ type curveRow struct {
 	MixName      string  `json:"mix"`
 	ReadFraction float64 `json:"read_fraction"`
 	ZipfS        float64 `json:"zipf_s"`
+	Servers      int     `json:"servers"`
+	Replication  int     `json:"replication"`
 	Clients      int     `json:"clients"`
 	Txns         int     `json:"txns"`
 	Arrivals     string  `json:"arrivals"`
@@ -42,6 +44,10 @@ type curveRow struct {
 	ServiceP99  int64   `json:"service_p99_us"`
 	InFlightMax int64   `json:"in_flight_max"`
 
+	// Sharded-stepping shape columns, shared with the closed-loop grid
+	// rows (present with -workers ≥ 1).
+	shardCols
+
 	// Certification columns, shared with the closed-loop grid rows
 	// (present with -certify only).
 	certCols
@@ -49,21 +55,24 @@ type curveRow struct {
 
 // curveConfig parameterizes a curve grid build.
 type curveConfig struct {
-	protocols []string
-	mixes     []string
-	fractions []float64
-	clients   int
-	txns      int
-	servers   int
-	objects   int
-	seed      int64
-	uniform   bool // deterministic-rate arrivals instead of Poisson
-	certify   bool // ride-along certification of every point
+	protocols   []string
+	mixes       []string
+	fractions   []float64
+	clients     int
+	txns        int
+	servers     []int
+	replication []int
+	objects     int
+	seed        int64
+	uniform     bool // deterministic-rate arrivals instead of Poisson
+	certify     bool // ride-along certification of every point
+	workers     int
 }
 
-// buildCurve measures one latency–throughput curve per protocol × mix and
-// flattens the points into grid rows. Fully deterministic for a fixed
-// config.
+// buildCurve measures one latency–throughput curve per protocol × mix ×
+// servers × replication and flattens the points into grid rows. Fully
+// deterministic for a fixed config (worker count excluded: it only
+// parallelizes the stepping).
 func buildCurve(cfg curveConfig) ([]curveRow, error) {
 	arrivals := "poisson"
 	if cfg.uniform {
@@ -80,47 +89,59 @@ func buildCurve(cfg curveConfig) ([]curveRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			curve, err := core.MeasureLoadCurve(p, mix, cfg.seed, core.CurveOptions{
-				Servers: cfg.servers, ObjectsPerServer: cfg.objects,
-				Clients: cfg.clients, Txns: cfg.txns,
-				Fractions: cfg.fractions, Deterministic: cfg.uniform,
-				Certify: cfg.certify,
-			})
-			if err != nil {
-				return nil, err
-			}
-			for _, pt := range curve.Points {
-				rows = append(rows, curveRow{
-					Protocol:     curve.Protocol,
-					MixName:      strings.TrimSpace(mixName),
-					ReadFraction: mix.ReadFraction,
-					ZipfS:        mix.ZipfS,
-					Clients:      cfg.clients,
-					Txns:         cfg.txns,
-					Arrivals:     arrivals,
-					Saturated:    curve.Saturated,
-					Fraction:     pt.Fraction,
-					Offered:      pt.Offered,
-					Achieved:     pt.Achieved,
-					Knee:         curve.Knee,
-					Committed:    pt.Committed,
-					Rejected:     pt.Rejected,
-					Incomplete:   pt.Incomplete,
-					Events:       pt.Events,
-					DurationUs:   int64(pt.Duration),
-					LatencyP50:   pt.Latency.P50,
-					LatencyP90:   pt.Latency.P90,
-					LatencyP99:   pt.Latency.P99,
-					LatencyMean:  pt.Latency.Mean,
-					QueueP50:     pt.QueueDelay.P50,
-					QueueP99:     pt.QueueDelay.P99,
-					QueueMean:    pt.QueueDelay.Mean,
-					ServiceP50:   pt.Service.P50,
-					ServiceP99:   pt.Service.P99,
-					InFlightMax:  pt.InFlight.Max,
-				})
-				if cfg.certify {
-					certCells(&rows[len(rows)-1].certCols, pt.Cert)
+			for _, srv := range cfg.servers {
+				for _, repl := range cfg.replication {
+					if repl > srv {
+						continue // replication factor cannot exceed servers
+					}
+					curve, err := core.MeasureLoadCurve(p, mix, cfg.seed, core.CurveOptions{
+						Servers: srv, ObjectsPerServer: cfg.objects,
+						Replication: repl,
+						Clients:     cfg.clients, Txns: cfg.txns,
+						Fractions: cfg.fractions, Deterministic: cfg.uniform,
+						Certify: cfg.certify,
+						Workers: cfg.workers,
+					})
+					if err != nil {
+						return nil, err
+					}
+					for _, pt := range curve.Points {
+						rows = append(rows, curveRow{
+							Protocol:     curve.Protocol,
+							MixName:      strings.TrimSpace(mixName),
+							ReadFraction: mix.ReadFraction,
+							ZipfS:        mix.ZipfS,
+							Servers:      srv,
+							Replication:  repl,
+							Clients:      cfg.clients,
+							Txns:         cfg.txns,
+							Arrivals:     arrivals,
+							Saturated:    curve.Saturated,
+							Fraction:     pt.Fraction,
+							Offered:      pt.Offered,
+							Achieved:     pt.Achieved,
+							Knee:         curve.Knee,
+							Committed:    pt.Committed,
+							Rejected:     pt.Rejected,
+							Incomplete:   pt.Incomplete,
+							Events:       pt.Events,
+							DurationUs:   int64(pt.Duration),
+							LatencyP50:   pt.Latency.P50,
+							LatencyP90:   pt.Latency.P90,
+							LatencyP99:   pt.Latency.P99,
+							LatencyMean:  pt.Latency.Mean,
+							QueueP50:     pt.QueueDelay.P50,
+							QueueP99:     pt.QueueDelay.P99,
+							QueueMean:    pt.QueueDelay.Mean,
+							ServiceP50:   pt.Service.P50,
+							ServiceP99:   pt.Service.P99,
+							InFlightMax:  pt.InFlight.Max,
+						})
+						shardCells(&rows[len(rows)-1].shardCols, pt.Sharding)
+						if cfg.certify {
+							certCells(&rows[len(rows)-1].certCols, pt.Cert)
+						}
+					}
 				}
 			}
 		}

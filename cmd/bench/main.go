@@ -2,15 +2,31 @@
 // machine-readable JSON grids.
 //
 // The default mode drives the closed-loop harness over a protocol × mix ×
-// client-count grid, one summary row per cell: throughput (committed
-// transactions per virtual second), latency percentiles, abort and
-// incompletion counts.
+// servers × replication × client-count grid, one summary row per cell:
+// throughput (committed transactions per virtual second), latency
+// percentiles, abort and incompletion counts. The default -servers 2,4,8
+// sweep charts how every protocol behaves as transactions span more
+// partitions — the regime the paper's theorems speak to — and
+// -replication >1 adds the partially replicated placements of Theorem 2.
+//
+// Cells step under the sharded engine by default (-workers 1: the
+// process set is partitioned into one shard per server and stepped in
+// conservative time windows; see internal/sim.ShardedRunner). -workers N
+// executes the identical schedule on N goroutines: every cell is a
+// function of the shard partition and seed, never of the worker count,
+// so two runs differing only in -workers emit byte-identical JSON (the
+// CI equivalence smoke diffs them). -workers 0 selects the legacy serial
+// scheduler (a different, also deterministic, schedule). Sharded rows
+// carry shards/rounds/critical_path_events: events ÷ critical_path_events
+// is the cell's measured shard-parallelism — the speedup ceiling of a
+// perfectly balanced worker pool.
 //
 // With -curve it instead sweeps open-loop offered load over a protocol ×
-// mix × rate grid: each protocol's saturated throughput is estimated
-// closed-loop, then one open-loop run per -fractions entry charts the
-// latency–throughput curve, with queueing delay and service latency
-// reported separately and the knee of the curve on every row.
+// mix × servers × replication × rate grid: each protocol's saturated
+// throughput is estimated closed-loop, then one open-loop run per
+// -fractions entry charts the latency–throughput curve, with queueing
+// delay and service latency reported separately and the knee of the
+// curve on every row.
 //
 // With -certify each cell (closed-loop grid and -curve points alike) is
 // certified ride-along: committed transactions feed an incremental
@@ -30,7 +46,8 @@
 //
 //	go run ./cmd/bench -clients 16 -txns 2000
 //	go run ./cmd/bench -protocols all -clients 1,8,32 -mixes readheavy,balanced
-//	go run ./cmd/bench -certify -protocols cops,cure -clients 16 -txns 2000
+//	go run ./cmd/bench -servers 2,4,8 -replication 1,2 -workers 4 -txns 2000
+//	go run ./cmd/bench -certify -protocols cops,cure -servers 2,4,8 -clients 16 -txns 2000
 //	go run ./cmd/bench -curve -certify -protocols cops,spanner -fractions 0.1,0.5,0.9,1.1
 package main
 
@@ -44,15 +61,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/history"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
-// row is one grid cell of the benchmark output.
+// row is one grid cell of the benchmark output. The worker count is
+// deliberately NOT a column: sharded cells are a function of the shard
+// partition and seed only, so grids produced with different -workers
+// settings must diff byte-identically (the CI equivalence smoke relies
+// on it).
 type row struct {
 	Protocol     string  `json:"protocol"`
 	MixName      string  `json:"mix"`
 	ReadFraction float64 `json:"read_fraction"`
 	ZipfS        float64 `json:"zipf_s"`
+	Servers      int     `json:"servers"`
+	Replication  int     `json:"replication"`
 	Clients      int     `json:"clients"`
 	Pipeline     int     `json:"pipeline"`
 	Txns         int     `json:"txns"`
@@ -72,9 +96,33 @@ type row struct {
 	WriteP50     int64   `json:"write_p50_us"`
 	WriteP99     int64   `json:"write_p99_us"`
 
+	// Sharded-stepping shape columns (present with -workers ≥ 1), shared
+	// with the -curve rows. All deterministic: critical_path_events is
+	// the serialized run length under unbounded workers, so
+	// events/critical_path_events is the measured shard-parallelism of
+	// the cell.
+	shardCols
+
 	// Certification columns, shared with the -curve rows (present with
 	// -certify only).
 	certCols
+}
+
+// shardCols is the sharded-stepping column set (empty under -workers 0).
+type shardCols struct {
+	Shards            int `json:"shards,omitempty"`
+	Rounds            int `json:"rounds,omitempty"`
+	CriticalPathEvent int `json:"critical_path_events,omitempty"`
+}
+
+// shardCells fills the sharded-stepping columns from a run's stats.
+func shardCells(r *shardCols, s *sim.ShardingStats) {
+	if s == nil {
+		return
+	}
+	r.Shards = s.Shards
+	r.Rounds = s.Rounds
+	r.CriticalPathEvent = s.CriticalEvents
 }
 
 // certCols is the certification column set every certified grid row
@@ -134,19 +182,22 @@ func parseInts(csv string) ([]int, error) {
 
 // gridConfig parameterizes a closed-loop grid build.
 type gridConfig struct {
-	protocols []string
-	mixes     []string
-	clients   []int
-	txns      int
-	pipeline  int
-	servers   int
-	objects   int
-	seed      int64
-	certify   bool
+	protocols   []string
+	mixes       []string
+	clients     []int
+	servers     []int
+	replication []int
+	txns        int
+	pipeline    int
+	objects     int
+	seed        int64
+	certify     bool
+	workers     int
 }
 
-// buildGrid measures every protocol × mix × client-count cell closed-loop.
-// Fully deterministic for a fixed config.
+// buildGrid measures every protocol × mix × servers × replication ×
+// client-count cell closed-loop. Fully deterministic for a fixed config
+// (worker count excluded: it only parallelizes the stepping).
 func buildGrid(cfg gridConfig) ([]row, error) {
 	rows := []row{}
 	for _, name := range cfg.protocols {
@@ -160,44 +211,56 @@ func buildGrid(cfg gridConfig) ([]row, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, c := range cfg.clients {
-				rep, err := core.MeasureThroughputWith(p, mix, c, cfg.txns, cfg.seed, core.ThroughputOptions{
-					Servers:          cfg.servers,
-					ObjectsPerServer: cfg.objects,
-					Pipeline:         cfg.pipeline,
-					Certify:          cfg.certify,
-				})
-				if err != nil {
-					return nil, err
+			for _, srv := range cfg.servers {
+				for _, repl := range cfg.replication {
+					if repl > srv {
+						continue // replication factor cannot exceed servers
+					}
+					for _, c := range cfg.clients {
+						rep, err := core.MeasureThroughputWith(p, mix, c, cfg.txns, cfg.seed, core.ThroughputOptions{
+							Servers:          srv,
+							ObjectsPerServer: cfg.objects,
+							Replication:      repl,
+							Pipeline:         cfg.pipeline,
+							Certify:          cfg.certify,
+							Workers:          cfg.workers,
+						})
+						if err != nil {
+							return nil, err
+						}
+						r := row{
+							Protocol:     rep.Protocol,
+							MixName:      mixName,
+							ReadFraction: mix.ReadFraction,
+							ZipfS:        mix.ZipfS,
+							Servers:      srv,
+							Replication:  repl,
+							Clients:      rep.Clients,
+							Pipeline:     rep.Pipeline,
+							Txns:         cfg.txns,
+							Committed:    rep.Committed,
+							Rejected:     rep.Rejected,
+							Incomplete:   rep.Incomplete,
+							Events:       rep.Events,
+							DurationUs:   int64(rep.Duration),
+							Throughput:   rep.Throughput,
+							LatencyP50:   rep.Latency.P50,
+							LatencyP90:   rep.Latency.P90,
+							LatencyP99:   rep.Latency.P99,
+							LatencyMean:  rep.Latency.Mean,
+							ROTP50:       rep.ROT.P50,
+							ROTP99:       rep.ROT.P99,
+							ROTRounds:    rep.ROTRounds,
+							WriteP50:     rep.Write.P50,
+							WriteP99:     rep.Write.P99,
+						}
+						shardCells(&r.shardCols, rep.Sharding)
+						if cfg.certify {
+							certCells(&r.certCols, rep.Cert)
+						}
+						rows = append(rows, r)
+					}
 				}
-				r := row{
-					Protocol:     rep.Protocol,
-					MixName:      mixName,
-					ReadFraction: mix.ReadFraction,
-					ZipfS:        mix.ZipfS,
-					Clients:      rep.Clients,
-					Pipeline:     rep.Pipeline,
-					Txns:         cfg.txns,
-					Committed:    rep.Committed,
-					Rejected:     rep.Rejected,
-					Incomplete:   rep.Incomplete,
-					Events:       rep.Events,
-					DurationUs:   int64(rep.Duration),
-					Throughput:   rep.Throughput,
-					LatencyP50:   rep.Latency.P50,
-					LatencyP90:   rep.Latency.P90,
-					LatencyP99:   rep.Latency.P99,
-					LatencyMean:  rep.Latency.Mean,
-					ROTP50:       rep.ROT.P50,
-					ROTP99:       rep.ROT.P99,
-					ROTRounds:    rep.ROTRounds,
-					WriteP50:     rep.Write.P50,
-					WriteP99:     rep.Write.P99,
-				}
-				if cfg.certify {
-					certCells(&r.certCols, rep.Cert)
-				}
-				rows = append(rows, r)
 			}
 		}
 	}
@@ -211,9 +274,16 @@ func main() {
 	txns := flag.Int("txns", 2000, "transactions per grid cell")
 	mixes := flag.String("mixes", "readheavy", "comma-separated mixes (readheavy, balanced)")
 	pipeline := flag.Int("pipeline", 1, "outstanding invocations per client")
-	servers := flag.Int("servers", 2, "servers in the deployment")
+	servers := flag.String("servers", "2,4,8",
+		"comma-separated server counts: the default grid charts the multi-server cells")
+	replication := flag.String("replication", "1",
+		"comma-separated replication factors (>1 deploys the partially replicated placement; factors exceeding the cell's server count are skipped)")
 	objects := flag.Int("objects", 2, "objects per server")
 	seed := flag.Int64("seed", 42, "deterministic run seed")
+	workers := flag.Int("workers", 1,
+		"stepping engine: 0 = legacy serial scheduler; >= 1 = sharded stepping "+
+			"(one shard per server) on that many goroutines — cells are identical "+
+			"for every workers >= 1, so outputs diff byte-for-byte across worker counts")
 	certify := flag.Bool("certify", false, fmt.Sprintf(
 		"certify each cell ride-along at the protocol's claimed consistency "+
 			"level (adds cert fields incl. first_violation_txn to the grid; "+
@@ -240,6 +310,14 @@ func main() {
 		names = strings.Split(*protocols, ",")
 	}
 	mixNames := strings.Split(*mixes, ",")
+	serverCounts, err := parseInts(*servers)
+	if err != nil {
+		fail(fmt.Errorf("-servers: %w", err))
+	}
+	replFactors, err := parseInts(*replication)
+	if err != nil {
+		fail(fmt.Errorf("-replication: %w", err))
+	}
 
 	var out any
 	if *curve {
@@ -253,8 +331,10 @@ func main() {
 		rows, err := buildCurve(curveConfig{
 			protocols: names, mixes: mixNames, fractions: fracs,
 			clients: *curveClients, txns: *txns,
-			servers: *servers, objects: *objects, seed: *seed,
+			servers: serverCounts, replication: replFactors,
+			objects: *objects, seed: *seed,
 			uniform: *arrivals == "uniform", certify: *certify,
+			workers: *workers,
 		})
 		if err != nil {
 			fail(err)
@@ -268,8 +348,9 @@ func main() {
 		rows, err := buildGrid(gridConfig{
 			protocols: names, mixes: mixNames, clients: counts,
 			txns: *txns, pipeline: *pipeline,
-			servers: *servers, objects: *objects, seed: *seed,
-			certify: *certify,
+			servers: serverCounts, replication: replFactors,
+			objects: *objects, seed: *seed,
+			certify: *certify, workers: *workers,
 		})
 		if err != nil {
 			fail(err)

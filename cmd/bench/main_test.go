@@ -41,7 +41,9 @@ func TestGridJSONByteIdentical(t *testing.T) {
 		protocols: []string{"cops", "spanner"},
 		mixes:     []string{"readheavy", "balanced"},
 		clients:   []int{2, 8},
-		txns:      120, pipeline: 1, servers: 2, objects: 2, seed: 42,
+		txns:      120, pipeline: 1,
+		servers: []int{2}, replication: []int{1},
+		objects: 2, seed: 42, workers: 1,
 	}
 	run := func() string {
 		rows, err := buildGrid(cfg)
@@ -53,6 +55,75 @@ func TestGridJSONByteIdentical(t *testing.T) {
 	requireIdentical(t, "grid JSON", run(), run())
 }
 
+// TestGridWorkersByteIdentical is the bench-level serial-equals-parallel
+// contract: the same grid built with Workers=1 (serial sharded stepping,
+// the oracle) and Workers=4 must emit byte-identical JSON — worker count
+// parallelizes the stepping, it never touches the schedule.
+func TestGridWorkersByteIdentical(t *testing.T) {
+	base := gridConfig{
+		protocols: []string{"cops", "cure"},
+		mixes:     []string{"readheavy"},
+		clients:   []int{8},
+		txns:      120, pipeline: 1,
+		servers: []int{2, 4}, replication: []int{1},
+		objects: 2, seed: 42,
+	}
+	run := func(workers int) string {
+		cfg := base
+		cfg.workers = workers
+		rows, err := buildGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Shards == 0 || r.Rounds == 0 || r.CriticalPathEvent == 0 {
+				t.Fatalf("sharded columns missing: %+v", r)
+			}
+			if r.CriticalPathEvent > r.Events {
+				t.Fatalf("critical path %d exceeds events %d", r.CriticalPathEvent, r.Events)
+			}
+		}
+		return encode(t, rows)
+	}
+	requireIdentical(t, "workers grid JSON", run(1), run(4))
+}
+
+// TestGridServerSweep: the multi-server default sweep produces one cell
+// per server count with shard count matching, and skips replication
+// factors exceeding the cell's servers.
+func TestGridServerSweep(t *testing.T) {
+	rows, err := buildGrid(gridConfig{
+		protocols: []string{"cops"},
+		mixes:     []string{"readheavy"},
+		clients:   []int{4},
+		txns:      60, pipeline: 1,
+		servers: []int{2, 4, 8}, replication: []int{1, 4},
+		objects: 1, seed: 7, workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// servers 2: repl 1 only (4 > 2 skipped); servers 4 and 8: repl 1 and 4.
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	seen := map[[2]int]bool{}
+	for _, r := range rows {
+		seen[[2]int{r.Servers, r.Replication}] = true
+		if r.Shards != r.Servers {
+			t.Fatalf("cell %d servers has %d shards, want one per server", r.Servers, r.Shards)
+		}
+		if r.Committed == 0 {
+			t.Fatalf("empty cell: %+v", r)
+		}
+	}
+	for _, want := range [][2]int{{2, 1}, {4, 1}, {4, 4}, {8, 1}, {8, 4}} {
+		if !seen[want] {
+			t.Fatalf("missing cell servers=%d replication=%d", want[0], want[1])
+		}
+	}
+}
+
 // TestCertifyGrid: with certification on, every cell carries a verdict at
 // the protocol's claimed level, and the deterministic fields (everything
 // but the wall-clock) are identical across runs. cops (causal) must
@@ -62,8 +133,10 @@ func TestCertifyGrid(t *testing.T) {
 		protocols: []string{"cops", "naivefast"},
 		mixes:     []string{"balanced"},
 		clients:   []int{8},
-		txns:      96, pipeline: 1, servers: 2, objects: 1, seed: 2,
-		certify: true,
+		txns:      96, pipeline: 1,
+		servers: []int{2}, replication: []int{1},
+		objects: 1, seed: 2,
+		certify: true, workers: 1,
 	}
 	run := func() []row {
 		rows, err := buildGrid(cfg)
@@ -112,7 +185,9 @@ func TestCurveJSONByteIdentical(t *testing.T) {
 		protocols: []string{"cops", "cure"},
 		mixes:     []string{"readheavy"},
 		fractions: []float64{0.1, 0.9},
-		clients:   4, txns: 100, servers: 2, objects: 2, seed: 42,
+		clients:   4, txns: 100,
+		servers: []int{2}, replication: []int{1},
+		objects: 2, seed: 42, workers: 1,
 	}
 	run := func() string {
 		rows, err := buildCurve(cfg)
@@ -130,7 +205,8 @@ func TestCurveGridShape(t *testing.T) {
 	rows, err := buildCurve(curveConfig{
 		protocols: []string{"cops"}, mixes: []string{"readheavy"},
 		fractions: []float64{0.25, 1.2}, clients: 4, txns: 80,
-		servers: 2, objects: 2, seed: 7, uniform: true,
+		servers: []int{2}, replication: []int{1},
+		objects: 2, seed: 7, uniform: true, workers: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -10,7 +10,12 @@
 // certification of every cell — committed transactions feed an
 // incremental history.Session during the run and the recorded history is
 // re-solved by the batch checker, so every published number is backed by
-// two independently agreeing consistency verdicts.
+// two independently agreeing consistency verdicts. The Servers,
+// Replication and Workers options scale the deployment across the
+// multi-server (and partially replicated) grid, with Workers ≥ 1
+// selecting the sharded parallel stepping engine — measured numbers
+// depend on the shard partition and seed, never on the worker count
+// (sim.ShardedRunner's serial-equals-parallel guarantee).
 package core
 
 import (

@@ -42,6 +42,10 @@ type CurvePoint struct {
 	// curve is certified as it runs, same contract as the closed-loop
 	// grid.
 	Cert Certification
+
+	// Sharding is the deterministic shape of a sharded-stepping point
+	// (CurveOptions.Workers ≥ 1). Nil under the serial engine.
+	Sharding *sim.ShardingStats
 }
 
 // LoadCurve is a swept latency–throughput curve for one protocol × mix.
@@ -65,6 +69,9 @@ type LoadCurve struct {
 type CurveOptions struct {
 	Servers          int
 	ObjectsPerServer int
+	// Replication > 1 deploys the partially replicated placement
+	// (protocol.Config semantics) instead of the disjoint one.
+	Replication int
 	// Clients receiving the open-loop arrivals round-robin (default 8).
 	Clients int
 	// Txns per curve point (default 400).
@@ -79,6 +86,10 @@ type CurveOptions struct {
 	// claimed consistency level (see ThroughputOptions.Certify). Requires
 	// Txns at or below the checker ceiling history.MaxTxns.
 	Certify bool
+	// Workers selects the stepping engine for every run of the sweep,
+	// including the closed-loop saturation estimate (see
+	// ThroughputOptions.Workers).
+	Workers int
 }
 
 func (o *CurveOptions) defaults() {
@@ -105,7 +116,9 @@ func MeasureLoadCurve(p protocol.Protocol, mix workload.Mix, seed int64, opt Cur
 	sat, err := driver.Run(p, driver.Config{
 		Clients: opt.Clients, Txns: opt.Txns, Mix: mix, Seed: seed,
 		Servers: opt.Servers, ObjectsPerServer: opt.ObjectsPerServer,
-		Latency: opt.Latency,
+		Replication: opt.Replication,
+		Latency:     opt.Latency,
+		Workers:     opt.Workers,
 	})
 	if err != nil {
 		return curve, fmt.Errorf("core: saturation estimate for %s: %w", p.Name(), err)
@@ -120,9 +133,11 @@ func MeasureLoadCurve(p protocol.Protocol, mix workload.Mix, seed int64, opt Cur
 		rep, err := driver.Run(p, driver.Config{
 			Clients: opt.Clients, Txns: opt.Txns, Mix: mix, Seed: seed,
 			Servers: opt.Servers, ObjectsPerServer: opt.ObjectsPerServer,
-			Latency: opt.Latency,
-			Rate:    rate, DeterministicArrivals: opt.Deterministic,
+			Replication: opt.Replication,
+			Latency:     opt.Latency,
+			Rate:        rate, DeterministicArrivals: opt.Deterministic,
 			RecordHistory: opt.Certify, Certify: opt.Certify,
+			Workers: opt.Workers,
 		})
 		if err != nil {
 			return curve, fmt.Errorf("core: curve point %s at %.0f txn/s: %w", p.Name(), rate, err)
@@ -134,6 +149,7 @@ func MeasureLoadCurve(p protocol.Protocol, mix workload.Mix, seed int64, opt Cur
 			Incomplete: rep.Incomplete, Events: rep.Events, Duration: rep.Duration,
 			Latency: rep.Latency, QueueDelay: rep.QueueDelay,
 			Service: rep.Service, InFlight: rep.InFlight,
+			Sharding: rep.Sharding,
 		}
 		if opt.Certify {
 			if pt.Cert, err = certifyRun(rep); err != nil {

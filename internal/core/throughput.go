@@ -42,14 +42,23 @@ type ThroughputReport struct {
 	// the batch solver, with both wall-clocks. Cert.Level is empty when
 	// certification was off.
 	Cert Certification
+
+	// Sharding is the deterministic shape of a sharded-stepping run
+	// (ThroughputOptions.Workers ≥ 1): windows, total vs critical-path
+	// events, shard occupancy. Nil under the serial engine.
+	Sharding *sim.ShardingStats
 }
 
 // ThroughputOptions scales a throughput run.
 type ThroughputOptions struct {
 	Servers          int
 	ObjectsPerServer int
-	Pipeline         int
-	Latency          sim.LatencyModel
+	// Replication > 1 deploys the partially replicated placement
+	// (protocol.Config semantics) instead of the disjoint one, charting
+	// the partial-replication regimes of Theorem 2 under load.
+	Replication int
+	Pipeline    int
+	Latency     sim.LatencyModel
 	// Certify certifies the run ride-along at the protocol's claimed
 	// consistency level: committed transactions feed an incremental
 	// history.Session during the run (so full grid cells certify without
@@ -57,6 +66,12 @@ type ThroughputOptions struct {
 	// batch solver for the incremental-vs-batch comparison in Cert.
 	// Requires txns at or below the checker ceiling history.MaxTxns.
 	Certify bool
+	// Workers selects the stepping engine (driver.Config.Workers
+	// semantics): 0 the serial scheduler, ≥ 1 sharded stepping with one
+	// shard per server and min(Workers, active shards) goroutines. The
+	// measured numbers are a function of the shard partition and seed,
+	// never of the worker count.
+	Workers int
 }
 
 // MeasureThroughput runs txns transactions of the mix over the given
@@ -83,13 +98,16 @@ func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns 
 		Seed:             seed,
 		Servers:          opt.Servers,
 		ObjectsPerServer: opt.ObjectsPerServer,
+		Replication:      opt.Replication,
 		Latency:          opt.Latency,
 		RecordHistory:    opt.Certify,
 		Certify:          opt.Certify,
+		Workers:          opt.Workers,
 	})
 	if err != nil {
 		return rep, err
 	}
+	rep.Sharding = load.Sharding
 	if opt.Certify {
 		if rep.Cert, err = certifyRun(load); err != nil {
 			return rep, err

@@ -26,9 +26,20 @@
 // configuration and seed produce the same events, the same latencies and
 // the same history.
 //
+// Two stepping engines drive the kernel. The default (Config.Workers ==
+// 0) is the serial Network scheduler. Workers ≥ 1 selects sharded
+// stepping (sim.ShardedRunner): one shard per server with clients
+// striped across them, windows executed on a worker pool, and a
+// deterministic merge — the run is a function of the shard partition
+// and seed only, so Workers=1 reproduces any Workers=N run byte for
+// byte (the serial oracle guarantee), while Workers=0 is a different,
+// also deterministic, schedule. Report.Sharding records the windowed
+// run's shape, including the critical-path event count that bounds
+// multi-core speedup.
+//
 // Load runs default to the kernel's load mode (tracing and payload
 // retention disabled) so memory stays flat over millions of events; set
-// KeepTrace to retain the full trace for debugging.
+// KeepTrace to retain the full trace for debugging (serial engine only).
 package driver
 
 import (
@@ -101,6 +112,23 @@ type Config struct {
 	// NoTimeLeap disables the Network scheduler's time-leap, restoring
 	// the spin-parked-servers behaviour. Comparison/debugging only.
 	NoTimeLeap bool
+	// LatencyFloor declares the lower bound of a custom Latency model
+	// (ignored when Latency is nil — the default model declares 500µs).
+	// The sharded engine sizes its conservative time windows by it; 0 is
+	// always safe but shrinks windows to 1µs.
+	LatencyFloor sim.Time
+	// Workers selects the stepping engine. 0 (the default) is the serial
+	// Network scheduler. ≥ 1 switches to sharded stepping
+	// (sim.ShardedRunner): the process set is partitioned into one shard
+	// per server (clients striped across them) and windows execute on
+	// min(Workers, active shards) goroutines. The schedule, history and
+	// report are a function of the shard partition and seed only — NEVER
+	// of Workers — so Workers=1 is the serial differential oracle for any
+	// higher setting, byte for byte. Sharded runs are a different (valid)
+	// member of the schedule space than Workers=0: reports differ between
+	// the two engines, deterministically each.
+	// Incompatible with KeepTrace and NoTimeLeap.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -183,6 +211,11 @@ type Report struct {
 	CertLevel string
 	Cert      *history.SessionVerdict
 	CertWall  time.Duration
+
+	// Sharding carries the deterministic shape of a sharded run
+	// (Config.Workers ≥ 1): windows executed, per-round critical path and
+	// shard occupancy. Nil under the serial engine.
+	Sharding *sim.ShardingStats
 }
 
 func (r *Report) String() string {
@@ -201,6 +234,7 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 		Clients:          cfg.Clients,
 		Seed:             cfg.Seed,
 		Latency:          cfg.Latency,
+		LatencyFloor:     cfg.LatencyFloor,
 	})
 	if !cfg.KeepTrace {
 		d.Kernel.SetTraceCap(-1)
@@ -212,13 +246,64 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 	return RunOn(d, cfg)
 }
 
+// engine abstracts the stepping mode behind the load loops: the serial
+// Network scheduler (Config.Workers == 0) or the sharded window runner.
+// Both contracts match sim.Run's: execute until quiescence, the stop
+// predicate (checked between events / between windows), the horizon, or
+// the event budget, returning the events executed.
+type engine interface {
+	run(stop func(*sim.Kernel) bool, maxEvents int) int
+	setHorizon(t sim.Time)
+}
+
+type serialEngine struct {
+	k     *sim.Kernel
+	sched *sim.Network
+}
+
+func (e *serialEngine) run(stop func(*sim.Kernel) bool, maxEvents int) int {
+	return sim.Run(e.k, e.sched, stop, maxEvents)
+}
+func (e *serialEngine) setHorizon(t sim.Time) { e.sched.Horizon = t }
+
+type shardedEngine struct{ r *sim.ShardedRunner }
+
+func (e *shardedEngine) run(stop func(*sim.Kernel) bool, maxEvents int) int {
+	return e.r.Run(stop, maxEvents)
+}
+func (e *shardedEngine) setHorizon(t sim.Time) { e.r.SetHorizon(t) }
+
+// shardAssignment partitions a deployment for sharded stepping: one
+// shard per server (the shard of partition k owns server k), with the
+// client-side processes (workload clients, readers, initializers)
+// striped across the shards in sorted process order. The assignment is a
+// pure function of the deployment, so the sharded schedule is too.
+func shardAssignment(d *protocol.Deployment) (func(sim.ProcessID) int, int) {
+	n := d.Place.NumServers()
+	assign := make(map[sim.ProcessID]int, n)
+	for _, sid := range d.Place.Servers() {
+		assign[sid] = d.Place.ServerIndex(sid)
+	}
+	i := 0
+	for _, pid := range d.Kernel.Processes() {
+		if _, isServer := assign[pid]; isServer {
+			continue
+		}
+		assign[pid] = i % n
+		i++
+	}
+	return func(pid sim.ProcessID) int { return assign[pid] }, n
+}
+
 // run carries the shared machinery of both load regimes.
 type run struct {
-	d    *protocol.Deployment
-	cfg  Config
-	rep  *Report
-	cls  []protocol.Client
-	gens []*workload.Generator
+	d      *protocol.Deployment
+	cfg    Config
+	rep    *Report
+	cls    []protocol.Client
+	gens   []*workload.Generator
+	eng    engine
+	runner *sim.ShardedRunner // non-nil under the sharded engine
 
 	lat, rot, wr *stats.Collector
 	queue, svc   *stats.Collector
@@ -351,6 +436,10 @@ func (r *run) finish(start sim.Time) *Report {
 		rep.Cert = &v
 		rep.CertWall = r.certWall
 	}
+	if r.runner != nil {
+		st := r.runner.Stats()
+		rep.Sharding = &st
+	}
 	return rep
 }
 
@@ -368,6 +457,23 @@ func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
 			cfg.Txns, history.MaxTxns)
 	}
 	r := newRun(d, cfg)
+	if cfg.Workers <= 0 {
+		r.eng = &serialEngine{k: d.Kernel, sched: &sim.Network{NoTimeLeap: cfg.NoTimeLeap}}
+	} else {
+		if cfg.KeepTrace {
+			return nil, fmt.Errorf("driver: Workers and KeepTrace are incompatible (sharded stepping has no global event order to record)")
+		}
+		if cfg.NoTimeLeap {
+			return nil, fmt.Errorf("driver: Workers and NoTimeLeap are incompatible (sharded windows always leap)")
+		}
+		shardOf, shards := shardAssignment(d)
+		runner, err := sim.NewShardedRunner(d.Kernel, shardOf, shards, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("driver: %w", err)
+		}
+		r.runner = runner
+		r.eng = &shardedEngine{r: runner}
+	}
 	if cfg.Rate > 0 {
 		return r.runOpen()
 	}
@@ -406,11 +512,10 @@ func (r *run) runClosed() (*Report, error) {
 		return false
 	}
 
-	sched := &sim.Network{NoTimeLeap: cfg.NoTimeLeap}
 	start := d.Kernel.Now()
 	for {
 		refill()
-		n := sim.Run(d.Kernel, sched, func(*sim.Kernel) bool { return needRefill() }, cfg.MaxEvents-rep.Events)
+		n := r.eng.run(func(*sim.Kernel) bool { return needRefill() }, cfg.MaxEvents-rep.Events)
 		rep.Events += n
 		r.collect()
 		if needRefill() && rep.Events < cfg.MaxEvents {
@@ -427,10 +532,15 @@ func (r *run) runClosed() (*Report, error) {
 }
 
 // runOpen injects transactions at the arrival process's instants,
-// regardless of completions. The scheduler runs with its horizon set to
-// the next arrival so virtual time never leaps past an injection; at the
-// horizon the driver advances the clock to the exact scheduled instant
-// and invokes the transaction at the next client round-robin.
+// regardless of completions. The engine runs with its horizon set to
+// the next arrival so virtual time never leaps past an injection; at
+// the horizon the driver advances the clock to the scheduled instant
+// and invokes the transaction at the next client round-robin. (Under
+// the sharded engine the clock may already sit a few steps past the
+// instant — window granularity, see sim.ShardedRunner.SetHorizon — so
+// the invocation happens at the first actionable instant at or after
+// it; queueing delay is measured from the scheduled instant in both
+// engines.)
 func (r *run) runOpen() (*Report, error) {
 	d, cfg, rep := r.d, r.cfg, r.rep
 	rep.OfferedRate = cfg.Rate
@@ -445,12 +555,11 @@ func (r *run) runOpen() (*Report, error) {
 		arr = sim.NewPoissonArrivals(cfg.Rate, cfg.Seed*999_983+77, start)
 	}
 
-	sched := &sim.Network{NoTimeLeap: cfg.NoTimeLeap}
 	for injected := 0; injected < cfg.Txns && rep.Events < cfg.MaxEvents; injected++ {
 		at := arr.Next()
 		// Run everything scheduled strictly before the arrival.
-		sched.Horizon = at
-		rep.Events += sim.Run(d.Kernel, sched, nil, cfg.MaxEvents-rep.Events)
+		r.eng.setHorizon(at)
+		rep.Events += r.eng.run(nil, cfg.MaxEvents-rep.Events)
 		r.collect()
 		d.Kernel.AdvanceTo(at)
 		i := injected % cfg.Clients
@@ -464,8 +573,8 @@ func (r *run) runOpen() (*Report, error) {
 		inFlight.Add(int64(depth))
 	}
 	// Drain: no more arrivals, run until every client is idle.
-	sched.Horizon = 0
-	rep.Events += sim.Run(d.Kernel, sched, nil, cfg.MaxEvents-rep.Events)
+	r.eng.setHorizon(0)
+	rep.Events += r.eng.run(nil, cfg.MaxEvents-rep.Events)
 	r.collect()
 	r.rep.InFlight = inFlight.Summarize()
 	return r.finish(start), nil

