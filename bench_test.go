@@ -216,19 +216,31 @@ func BenchmarkDriverEventRate(b *testing.B) {
 	b.ReportMetric(float64(evPerRun), "events/run")
 }
 
-// BenchmarkSteppingEngines compares the two kernel stepping engines on
-// the same 8-server 64-client cell (E12): the legacy serial scheduler
-// (workers=0), sharded stepping executed serially (workers=1, the
-// oracle schedule) and on a 4-goroutine pool (workers=4). Reported
-// metric for sharded runs: events ÷ critical-path events — the measured
-// shard-parallelism, i.e. the multi-core speedup ceiling of the cell.
+// BenchmarkSteppingEngines compares the kernel stepping engines on the
+// same 8-server 64-client cell (E12/E13): the legacy serial scheduler
+// (workers=0), the window-synchronized barrier engine, conservative
+// lookahead executed serially (workers=1, the oracle schedule) and on a
+// 4-goroutine pool (workers=4), and lookahead with the deterministic
+// shard rebalance. Reported metric for sharded runs: events ÷
+// critical-path events — the measured shard-parallelism, i.e. the
+// multi-core speedup ceiling of the cell.
 func BenchmarkSteppingEngines(b *testing.B) {
-	for _, workers := range []int{0, 1, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	cases := []struct {
+		name string
+		opt  core.ThroughputOptions
+	}{
+		{"serial", core.ThroughputOptions{Servers: 8}},
+		{"barrier/workers=1", core.ThroughputOptions{Servers: 8, Workers: 1, Barrier: true}},
+		{"lookahead/workers=1", core.ThroughputOptions{Servers: 8, Workers: 1}},
+		{"lookahead/workers=4", core.ThroughputOptions{Servers: 8, Workers: 4}},
+		{"lookahead+rebalance/workers=1", core.ThroughputOptions{Servers: 8, Workers: 1, Rebalance: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
 			var par float64
 			for i := 0; i < b.N; i++ {
 				rep, err := core.MeasureThroughputWith(core.ByName("cops"), workload.ReadHeavy(),
-					64, 2000, 42, core.ThroughputOptions{Servers: 8, Workers: workers})
+					64, 2000, 42, c.opt)
 				if err != nil {
 					b.Fatal(err)
 				}

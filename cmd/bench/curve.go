@@ -67,6 +67,8 @@ type curveConfig struct {
 	uniform     bool // deterministic-rate arrivals instead of Poisson
 	certify     bool // ride-along certification of every point
 	workers     int
+	barrier     bool
+	rebalance   bool
 }
 
 // buildCurve measures one latency–throughput curve per protocol × mix ×
@@ -100,7 +102,7 @@ func buildCurve(cfg curveConfig) ([]curveRow, error) {
 						Clients:     cfg.clients, Txns: cfg.txns,
 						Fractions: cfg.fractions, Deterministic: cfg.uniform,
 						Certify: cfg.certify,
-						Workers: cfg.workers,
+						Workers: cfg.workers, Barrier: cfg.barrier, Rebalance: cfg.rebalance,
 					})
 					if err != nil {
 						return nil, err

@@ -9,15 +9,20 @@
 // partitions — the regime the paper's theorems speak to — and
 // -replication >1 adds the partially replicated placements of Theorem 2.
 //
-// Cells step under the sharded engine by default (-workers 1: the
-// process set is partitioned into one shard per server and stepped in
-// conservative time windows; see internal/sim.ShardedRunner). -workers N
-// executes the identical schedule on N goroutines: every cell is a
-// function of the shard partition and seed, never of the worker count,
-// so two runs differing only in -workers emit byte-identical JSON (the
-// CI equivalence smoke diffs them). -workers 0 selects the legacy serial
-// scheduler (a different, also deterministic, schedule). Sharded rows
-// carry shards/rounds/critical_path_events: events ÷ critical_path_events
+// Cells step under the sharded conservative-lookahead engine by default
+// (-workers 1: the process set is partitioned into one shard per server
+// and each shard advances to its Chandy–Misra null-message bound; see
+// internal/sim.NewLookaheadRunner). -workers N executes the identical
+// schedule on N goroutines: every cell is a function of the shard
+// partition and seed, never of the worker count, so two runs differing
+// only in -workers emit byte-identical JSON (the CI equivalence smoke
+// diffs them). -barrier selects the window-synchronized barrier engine
+// instead (same schedule, more rounds), -rebalance recomputes the
+// client→shard striping from a deterministic probe run, and -workers 0
+// selects the legacy serial scheduler (a different, also deterministic,
+// schedule). Sharded rows carry engine/shards/rounds/
+// critical_path_events plus the lookahead shape (null_advances,
+// blocked_shard_rounds, blocked_time_us): events ÷ critical_path_events
 // is the cell's measured shard-parallelism — the speedup ceiling of a
 // perfectly balanced worker pool.
 //
@@ -109,10 +114,21 @@ type row struct {
 }
 
 // shardCols is the sharded-stepping column set (empty under -workers 0).
+// engine names the stepping engine ("lookahead" or "barrier");
+// null_advances counts shard-rounds that advanced past the global
+// barrier edge on a null-message bound, blocked_shard_rounds/
+// blocked_time_us the shard-rounds (and summed virtual time) spent
+// waiting on a peer's bound — both zero under the barrier engine, which
+// is exactly the comparison E13 charts.
 type shardCols struct {
-	Shards            int `json:"shards,omitempty"`
-	Rounds            int `json:"rounds,omitempty"`
-	CriticalPathEvent int `json:"critical_path_events,omitempty"`
+	Shards             int    `json:"shards,omitempty"`
+	Engine             string `json:"engine,omitempty"`
+	Rounds             int    `json:"rounds,omitempty"`
+	CriticalPathEvent  int    `json:"critical_path_events,omitempty"`
+	NullAdvances       int    `json:"null_advances,omitempty"`
+	BlockedShardRounds int    `json:"blocked_shard_rounds,omitempty"`
+	BlockedTimeUs      int64  `json:"blocked_time_us,omitempty"`
+	Rebalanced         bool   `json:"rebalanced,omitempty"`
 }
 
 // shardCells fills the sharded-stepping columns from a run's stats.
@@ -121,8 +137,16 @@ func shardCells(r *shardCols, s *sim.ShardingStats) {
 		return
 	}
 	r.Shards = s.Shards
+	r.Engine = "barrier"
+	if s.Lookahead {
+		r.Engine = "lookahead"
+	}
 	r.Rounds = s.Rounds
 	r.CriticalPathEvent = s.CriticalEvents
+	r.NullAdvances = s.NullAdvances
+	r.BlockedShardRounds = s.BlockedShardRounds
+	r.BlockedTimeUs = int64(s.BlockedTime)
+	r.Rebalanced = s.Rebalanced
 }
 
 // certCols is the certification column set every certified grid row
@@ -193,6 +217,8 @@ type gridConfig struct {
 	seed        int64
 	certify     bool
 	workers     int
+	barrier     bool
+	rebalance   bool
 }
 
 // buildGrid measures every protocol × mix × servers × replication ×
@@ -224,6 +250,8 @@ func buildGrid(cfg gridConfig) ([]row, error) {
 							Pipeline:         cfg.pipeline,
 							Certify:          cfg.certify,
 							Workers:          cfg.workers,
+							Barrier:          cfg.barrier,
+							Rebalance:        cfg.rebalance,
 						})
 						if err != nil {
 							return nil, err
@@ -284,6 +312,14 @@ func main() {
 		"stepping engine: 0 = legacy serial scheduler; >= 1 = sharded stepping "+
 			"(one shard per server) on that many goroutines — cells are identical "+
 			"for every workers >= 1, so outputs diff byte-for-byte across worker counts")
+	barrier := flag.Bool("barrier", false,
+		"use the window-synchronized barrier engine instead of conservative "+
+			"lookahead for sharded cells (identical schedule and numbers, more "+
+			"rounds; requires -workers >= 1)")
+	rebalance := flag.Bool("rebalance", false,
+		"recompute the client-to-shard striping per cell from a deterministic "+
+			"probe run's per-shard event counts (requires -workers >= 1; the "+
+			"chosen partition changes the cell's schedule, deterministically)")
 	certify := flag.Bool("certify", false, fmt.Sprintf(
 		"certify each cell ride-along at the protocol's claimed consistency "+
 			"level (adds cert fields incl. first_violation_txn to the grid; "+
@@ -334,7 +370,7 @@ func main() {
 			servers: serverCounts, replication: replFactors,
 			objects: *objects, seed: *seed,
 			uniform: *arrivals == "uniform", certify: *certify,
-			workers: *workers,
+			workers: *workers, barrier: *barrier, rebalance: *rebalance,
 		})
 		if err != nil {
 			fail(err)
@@ -351,6 +387,7 @@ func main() {
 			servers: serverCounts, replication: replFactors,
 			objects: *objects, seed: *seed,
 			certify: *certify, workers: *workers,
+			barrier: *barrier, rebalance: *rebalance,
 		})
 		if err != nil {
 			fail(err)

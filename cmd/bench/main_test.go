@@ -56,9 +56,10 @@ func TestGridJSONByteIdentical(t *testing.T) {
 }
 
 // TestGridWorkersByteIdentical is the bench-level serial-equals-parallel
-// contract: the same grid built with Workers=1 (serial sharded stepping,
-// the oracle) and Workers=4 must emit byte-identical JSON — worker count
-// parallelizes the stepping, it never touches the schedule.
+// contract, for both sharded engines: the same grid built with Workers=1
+// (serial sharded stepping, the oracle) and Workers=4 must emit
+// byte-identical JSON — worker count parallelizes the stepping, it never
+// touches the schedule.
 func TestGridWorkersByteIdentical(t *testing.T) {
 	base := gridConfig{
 		protocols: []string{"cops", "cure"},
@@ -68,24 +69,78 @@ func TestGridWorkersByteIdentical(t *testing.T) {
 		servers: []int{2, 4}, replication: []int{1},
 		objects: 2, seed: 42,
 	}
-	run := func(workers int) string {
-		cfg := base
-		cfg.workers = workers
+	for _, eng := range []struct {
+		name    string
+		barrier bool
+	}{{"lookahead", false}, {"barrier", true}} {
+		run := func(workers int) string {
+			cfg := base
+			cfg.workers = workers
+			cfg.barrier = eng.barrier
+			rows, err := buildGrid(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				if r.Shards == 0 || r.Rounds == 0 || r.CriticalPathEvent == 0 {
+					t.Fatalf("sharded columns missing: %+v", r)
+				}
+				if r.Engine != eng.name {
+					t.Fatalf("engine column %q, want %q", r.Engine, eng.name)
+				}
+				if r.CriticalPathEvent > r.Events {
+					t.Fatalf("critical path %d exceeds events %d", r.CriticalPathEvent, r.Events)
+				}
+			}
+			return encode(t, rows)
+		}
+		requireIdentical(t, eng.name+" workers grid JSON", run(1), run(4))
+	}
+}
+
+// TestGridEngineColumns pins the lookahead shape columns: lookahead
+// cells report null-message-bound advances (the mechanism is exercised
+// on every multi-shard cell), barrier cells never do, and -rebalance
+// marks its rows and stays deterministic across repeats.
+func TestGridEngineColumns(t *testing.T) {
+	base := gridConfig{
+		protocols: []string{"cops"},
+		mixes:     []string{"readheavy"},
+		clients:   []int{8},
+		txns:      120, pipeline: 1,
+		servers: []int{4}, replication: []int{1},
+		objects: 2, seed: 42, workers: 1,
+	}
+	grid := func(cfg gridConfig) []row {
 		rows, err := buildGrid(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, r := range rows {
-			if r.Shards == 0 || r.Rounds == 0 || r.CriticalPathEvent == 0 {
-				t.Fatalf("sharded columns missing: %+v", r)
-			}
-			if r.CriticalPathEvent > r.Events {
-				t.Fatalf("critical path %d exceeds events %d", r.CriticalPathEvent, r.Events)
-			}
+		if len(rows) != 1 {
+			t.Fatalf("rows = %d, want 1", len(rows))
 		}
-		return encode(t, rows)
+		return rows
 	}
-	requireIdentical(t, "workers grid JSON", run(1), run(4))
+	la := grid(base)[0]
+	if la.Engine != "lookahead" || la.NullAdvances == 0 {
+		t.Fatalf("lookahead cell must report null advances: %+v", la.shardCols)
+	}
+	if la.Rebalanced {
+		t.Fatalf("unrebalanced cell marked rebalanced: %+v", la.shardCols)
+	}
+	bcfg := base
+	bcfg.barrier = true
+	ba := grid(bcfg)[0]
+	if ba.Engine != "barrier" || ba.NullAdvances != 0 || ba.BlockedShardRounds != 0 || ba.BlockedTimeUs != 0 {
+		t.Fatalf("barrier cell carries lookahead columns: %+v", ba.shardCols)
+	}
+	rcfg := base
+	rcfg.rebalance = true
+	rb := grid(rcfg)[0]
+	if !rb.Rebalanced {
+		t.Fatalf("rebalanced cell not marked: %+v", rb.shardCols)
+	}
+	requireIdentical(t, "rebalance repeat", encode(t, rb), encode(t, grid(rcfg)[0]))
 }
 
 // TestGridServerSweep: the multi-server default sweep produces one cell

@@ -90,6 +90,13 @@ type CurveOptions struct {
 	// including the closed-loop saturation estimate (see
 	// ThroughputOptions.Workers).
 	Workers int
+	// Barrier selects the window-synchronized barrier engine instead of
+	// the default conservative lookahead when Workers ≥ 1 (see
+	// ThroughputOptions.Barrier).
+	Barrier bool
+	// Rebalance recomputes the client→shard striping from a probe run
+	// before every run of the sweep (see ThroughputOptions.Rebalance).
+	Rebalance bool
 }
 
 func (o *CurveOptions) defaults() {
@@ -119,6 +126,8 @@ func MeasureLoadCurve(p protocol.Protocol, mix workload.Mix, seed int64, opt Cur
 		Replication: opt.Replication,
 		Latency:     opt.Latency,
 		Workers:     opt.Workers,
+		Barrier:     opt.Barrier,
+		Rebalance:   opt.Rebalance,
 	})
 	if err != nil {
 		return curve, fmt.Errorf("core: saturation estimate for %s: %w", p.Name(), err)
@@ -137,7 +146,7 @@ func MeasureLoadCurve(p protocol.Protocol, mix workload.Mix, seed int64, opt Cur
 			Latency:     opt.Latency,
 			Rate:        rate, DeterministicArrivals: opt.Deterministic,
 			RecordHistory: opt.Certify, Certify: opt.Certify,
-			Workers: opt.Workers,
+			Workers: opt.Workers, Barrier: opt.Barrier, Rebalance: opt.Rebalance,
 		})
 		if err != nil {
 			return curve, fmt.Errorf("core: curve point %s at %.0f txn/s: %w", p.Name(), rate, err)

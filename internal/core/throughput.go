@@ -72,6 +72,16 @@ type ThroughputOptions struct {
 	// measured numbers are a function of the shard partition and seed,
 	// never of the worker count.
 	Workers int
+	// Barrier selects the window-synchronized barrier engine instead of
+	// the default conservative-lookahead engine when Workers ≥ 1
+	// (driver.Config.Barrier semantics); both produce the identical
+	// schedule, they differ only in rounds and blocked time.
+	Barrier bool
+	// Rebalance recomputes the client→shard striping from a short
+	// deterministic probe run's per-shard event counts before the
+	// measured run (driver.Config.Rebalance semantics). Requires
+	// Workers ≥ 1; the chosen partition lands in Sharding.Partition.
+	Rebalance bool
 }
 
 // MeasureThroughput runs txns transactions of the mix over the given
@@ -103,6 +113,8 @@ func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns 
 		RecordHistory:    opt.Certify,
 		Certify:          opt.Certify,
 		Workers:          opt.Workers,
+		Barrier:          opt.Barrier,
+		Rebalance:        opt.Rebalance,
 	})
 	if err != nil {
 		return rep, err

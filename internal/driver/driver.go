@@ -26,16 +26,30 @@
 // configuration and seed produce the same events, the same latencies and
 // the same history.
 //
-// Two stepping engines drive the kernel. The default (Config.Workers ==
-// 0) is the serial Network scheduler. Workers ≥ 1 selects sharded
-// stepping (sim.ShardedRunner): one shard per server with clients
-// striped across them, windows executed on a worker pool, and a
-// deterministic merge — the run is a function of the shard partition
-// and seed only, so Workers=1 reproduces any Workers=N run byte for
-// byte (the serial oracle guarantee), while Workers=0 is a different,
-// also deterministic, schedule. Report.Sharding records the windowed
-// run's shape, including the critical-path event count that bounds
-// multi-core speedup.
+// Three stepping engines drive the kernel. The default (Config.Workers
+// == 0) is the serial Network scheduler. Workers ≥ 1 selects sharded
+// stepping: one shard per server with clients striped across them,
+// per-shard windows executed on a worker pool, and a deterministic
+// merge — the run is a function of the shard partition and seed only,
+// so Workers=1 reproduces any Workers=N run byte for byte (the serial
+// oracle guarantee), while Workers=0 is a different, also
+// deterministic, schedule. The sharded default is per-link conservative
+// lookahead (sim.NewLookaheadRunner): each shard advances to its own
+// null-message bound instead of a global window edge. Config.Barrier
+// selects the window-synchronized barrier engine of the earlier design
+// for comparison. Report.Sharding records the sharded run's shape,
+// including the critical-path event count that bounds multi-core
+// speedup, the null-message advances and per-shard blocked time.
+//
+// Closed-loop sharded runs refill clients mid-window: the runner calls
+// back into the driver after every client step (from the parallel
+// phase, touching only that client's generator and counters), so a
+// client is topped back up the moment a transaction completes rather
+// than at the next round boundary. Config.Rebalance replaces the static
+// client striping with a measured one: a short probe run counts events
+// per process, then clients are re-striped longest-processing-time
+// first onto the least-loaded shards — a pure function of the probe's
+// deterministic counts, reported in Report.Sharding.Partition.
 //
 // Load runs default to the kernel's load mode (tracing and payload
 // retention disabled) so memory stays flat over millions of events; set
@@ -44,6 +58,7 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/history"
@@ -118,17 +133,34 @@ type Config struct {
 	// always safe but shrinks windows to 1µs.
 	LatencyFloor sim.Time
 	// Workers selects the stepping engine. 0 (the default) is the serial
-	// Network scheduler. ≥ 1 switches to sharded stepping
-	// (sim.ShardedRunner): the process set is partitioned into one shard
-	// per server (clients striped across them) and windows execute on
-	// min(Workers, active shards) goroutines. The schedule, history and
-	// report are a function of the shard partition and seed only — NEVER
-	// of Workers — so Workers=1 is the serial differential oracle for any
-	// higher setting, byte for byte. Sharded runs are a different (valid)
-	// member of the schedule space than Workers=0: reports differ between
-	// the two engines, deterministically each.
+	// Network scheduler. ≥ 1 switches to sharded stepping: the process
+	// set is partitioned into one shard per server (clients striped
+	// across them) and per-shard windows execute on min(Workers, active
+	// shards) goroutines, under the per-link lookahead engine unless
+	// Barrier is set. The schedule, history and report are a function of
+	// the shard partition, engine and seed only — NEVER of Workers — so
+	// Workers=1 is the serial differential oracle for any higher setting,
+	// byte for byte. Sharded runs are a different (valid) member of the
+	// schedule space than Workers=0: reports differ between the engines,
+	// deterministically each.
 	// Incompatible with KeepTrace and NoTimeLeap.
 	Workers int
+	// Barrier selects the window-synchronized barrier engine of the
+	// original sharded design instead of per-link lookahead (Workers ≥ 1
+	// only). Kept for comparison runs: the barrier pays a global round
+	// every latency-floor window, which is exactly what lookahead removes.
+	Barrier bool
+	// Rebalance replaces the static client→shard striping with a measured
+	// one (Workers ≥ 1, driver.Run only): a short probe run on a separate
+	// deployment counts events per process, then clients are assigned
+	// longest-processing-time-first to the least-loaded shards. The plan
+	// is a pure function of the probe's deterministic counts — worker
+	// independence is unaffected — and is reported in
+	// Report.Sharding.Partition with Rebalanced set.
+	Rebalance bool
+	// plan carries the measured shard assignment from Run's probe to
+	// RunOn; nil means the static stripe.
+	plan map[sim.ProcessID]int
 }
 
 func (c *Config) defaults() {
@@ -224,9 +256,30 @@ func (r *Report) String() string {
 }
 
 // Run deploys p and drives a load run per cfg (closed loop by default,
-// open loop when cfg.Rate > 0).
+// open loop when cfg.Rate > 0). With cfg.Rebalance it first runs a short
+// probe on a separate deployment to measure the per-process load profile
+// and re-stripes the clients accordingly.
 func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 	cfg.defaults()
+	if cfg.Rebalance {
+		if cfg.Workers <= 0 {
+			return nil, fmt.Errorf("driver: Rebalance requires sharded stepping (Workers ≥ 1)")
+		}
+		plan, err := probePlan(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.plan = plan
+	}
+	d, err := deploy(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(d, cfg)
+}
+
+// deploy builds and initializes a deployment for cfg.
+func deploy(p protocol.Protocol, cfg Config) (*protocol.Deployment, error) {
 	d := protocol.Deploy(p, protocol.Config{
 		Servers:          cfg.Servers,
 		ObjectsPerServer: cfg.ObjectsPerServer,
@@ -243,7 +296,94 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 	if err := d.InitAll(400_000); err != nil {
 		return nil, fmt.Errorf("driver: %s init: %w", p.Name(), err)
 	}
-	return RunOn(d, cfg)
+	return d, nil
+}
+
+// probeTxns sizes the rebalance probe: an eighth of the run, at least two
+// transactions per client, capped well below any real run's cost.
+func probeTxns(cfg Config) int {
+	n := cfg.Txns / 8
+	if min := 2 * cfg.Clients; n < min {
+		n = min
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	if n > cfg.Txns {
+		n = cfg.Txns
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// probePlan runs the short probe under the statically striped sharded
+// engine and derives the measured assignment: servers stay pinned to
+// their shard; every other process is placed longest-processing-time
+// first onto the currently least-loaded shard (ties: lowest shard, then
+// sorted process ID). Everything in sight is deterministic, so the plan
+// is too.
+func probePlan(p protocol.Protocol, cfg Config) (map[sim.ProcessID]int, error) {
+	pc := cfg
+	pc.Rebalance = false
+	pc.plan = nil
+	pc.Certify = false
+	pc.RecordHistory = false
+	pc.Txns = probeTxns(cfg)
+	d, err := deploy(p, pc)
+	if err != nil {
+		return nil, fmt.Errorf("driver: rebalance probe: %w", err)
+	}
+	r, err := startRun(d, pc)
+	if err != nil {
+		return nil, fmt.Errorf("driver: rebalance probe: %w", err)
+	}
+	if pc.Rate > 0 {
+		_, err = r.runOpen()
+	} else {
+		_, err = r.runClosed()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("driver: rebalance probe: %w", err)
+	}
+	ev := r.runner.ProcessEvents()
+	plan := make(map[sim.ProcessID]int, len(ev))
+	n := d.Place.NumServers()
+	load := make([]int, n)
+	for _, sid := range d.Place.Servers() {
+		s := d.Place.ServerIndex(sid)
+		plan[sid] = s
+		load[s] += ev[sid]
+	}
+	type item struct {
+		pid sim.ProcessID
+		n   int
+	}
+	var items []item
+	for _, pid := range d.Kernel.Processes() {
+		if _, isServer := plan[pid]; isServer {
+			continue
+		}
+		items = append(items, item{pid, ev[pid]})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].pid < items[j].pid
+	})
+	for _, it := range items {
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		plan[it.pid] = best
+		load[best] += it.n
+	}
+	return plan, nil
 }
 
 // engine abstracts the stepping mode behind the load loops: the serial
@@ -276,10 +416,20 @@ func (e *shardedEngine) setHorizon(t sim.Time) { e.r.SetHorizon(t) }
 // shardAssignment partitions a deployment for sharded stepping: one
 // shard per server (the shard of partition k owns server k), with the
 // client-side processes (workload clients, readers, initializers)
-// striped across the shards in sorted process order. The assignment is a
-// pure function of the deployment, so the sharded schedule is too.
-func shardAssignment(d *protocol.Deployment) (func(sim.ProcessID) int, int) {
+// striped across the shards in sorted process order — unless a measured
+// plan from the rebalance probe overrides the stripe. Either way the
+// assignment is a pure function of deterministic inputs, so the sharded
+// schedule is too.
+func shardAssignment(d *protocol.Deployment, plan map[sim.ProcessID]int) (func(sim.ProcessID) int, int, error) {
 	n := d.Place.NumServers()
+	if plan != nil {
+		for _, pid := range d.Kernel.Processes() {
+			if s, ok := plan[pid]; !ok || s < 0 || s >= n {
+				return nil, 0, fmt.Errorf("driver: rebalance plan does not cover process %s", pid)
+			}
+		}
+		return func(pid sim.ProcessID) int { return plan[pid] }, n, nil
+	}
 	assign := make(map[sim.ProcessID]int, n)
 	for _, sid := range d.Place.Servers() {
 		assign[sid] = d.Place.ServerIndex(sid)
@@ -292,7 +442,7 @@ func shardAssignment(d *protocol.Deployment) (func(sim.ProcessID) int, int) {
 		assign[pid] = i % n
 		i++
 	}
-	return func(pid sim.ProcessID) int { return assign[pid] }, n
+	return func(pid sim.ProcessID) int { return assign[pid] }, n, nil
 }
 
 // run carries the shared machinery of both load regimes.
@@ -308,6 +458,12 @@ type run struct {
 	lat, rot, wr *stats.Collector
 	queue, svc   *stats.Collector
 	rounds, nROT int
+	// Closed-loop quota bookkeeping, per client. The mid-window refill
+	// hook mutates issued[i] from worker goroutines — safely, because
+	// client i lives on exactly one shard and the hook touches only
+	// index-i state (the serial merge orders everything else).
+	quota, issued []int
+	clientIdx     map[sim.ProcessID]int
 	// injectAt maps a transaction to its scheduled open-loop arrival
 	// instant (nil in closed loop). Entries are dropped on collection so
 	// memory stays flat over long runs.
@@ -438,6 +594,7 @@ func (r *run) finish(start sim.Time) *Report {
 	}
 	if r.runner != nil {
 		st := r.runner.Stats()
+		st.Rebalanced = r.cfg.plan != nil
 		rep.Sharding = &st
 	}
 	return rep
@@ -446,6 +603,19 @@ func (r *run) finish(start sim.Time) *Report {
 // RunOn drives a load run against an existing, initialized deployment.
 // The deployment must have at least cfg.Clients workload clients.
 func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
+	r, err := startRun(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.Rate > 0 {
+		return r.runOpen()
+	}
+	return r.runClosed()
+}
+
+// startRun validates cfg against the deployment and assembles the run
+// and its stepping engine.
+func startRun(d *protocol.Deployment, cfg Config) (*run, error) {
 	cfg.defaults()
 	if len(d.Clients) < cfg.Clients {
 		return nil, fmt.Errorf("driver: deployment has %d clients, need %d", len(d.Clients), cfg.Clients)
@@ -455,6 +625,12 @@ func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
 		// masquerade as a consistency violation in the report.
 		return nil, fmt.Errorf("driver: cannot certify %d transactions (checker ceiling history.MaxTxns = %d); lower Txns",
 			cfg.Txns, history.MaxTxns)
+	}
+	if cfg.Workers <= 0 && cfg.Barrier {
+		return nil, fmt.Errorf("driver: Barrier selects between sharded engines and requires Workers ≥ 1")
+	}
+	if cfg.Rebalance && cfg.plan == nil {
+		return nil, fmt.Errorf("driver: Rebalance needs the probe deployment driver.Run builds; call Run, not RunOn")
 	}
 	r := newRun(d, cfg)
 	if cfg.Workers <= 0 {
@@ -466,46 +642,78 @@ func RunOn(d *protocol.Deployment, cfg Config) (*Report, error) {
 		if cfg.NoTimeLeap {
 			return nil, fmt.Errorf("driver: Workers and NoTimeLeap are incompatible (sharded windows always leap)")
 		}
-		shardOf, shards := shardAssignment(d)
-		runner, err := sim.NewShardedRunner(d.Kernel, shardOf, shards, cfg.Workers)
+		shardOf, shards, err := shardAssignment(d, cfg.plan)
+		if err != nil {
+			return nil, err
+		}
+		mk := sim.NewLookaheadRunner
+		if cfg.Barrier {
+			mk = sim.NewShardedRunner
+		}
+		runner, err := mk(d.Kernel, shardOf, shards, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("driver: %w", err)
 		}
 		r.runner = runner
 		r.eng = &shardedEngine{r: runner}
 	}
-	if cfg.Rate > 0 {
-		return r.runOpen()
+	return r, nil
+}
+
+// refillClient tops one client up to its pipeline depth. It doubles as
+// the sharded runner's mid-window refill hook, where it runs on a worker
+// goroutine inside the parallel phase: everything it touches — the
+// client's queue, its generator stream, its quota slot — is owned by
+// exactly one shard, and the kernel is deliberately not told (the
+// invoke annotation is a trace event; load runs drop those anyway).
+func (r *run) refillClient(pid sim.ProcessID, _ sim.Time) {
+	i, ok := r.clientIdx[pid]
+	if !ok {
+		return
 	}
-	return r.runClosed()
+	cl := r.cls[i]
+	for r.issued[i] < r.quota[i] && cl.Outstanding() < r.cfg.Pipeline {
+		if r.runner == nil {
+			// Serial engine: go through the deployment so the invoke
+			// annotation lands in the trace (trace mode is serial-only).
+			r.d.Invoke(pid, r.nextTxn(i))
+		} else {
+			cl.Invoke(r.nextTxn(i))
+		}
+		r.issued[i]++
+	}
 }
 
 // runClosed keeps every client topped up to its pipeline depth.
 func (r *run) runClosed() (*Report, error) {
 	d, cfg, rep := r.d, r.cfg, r.rep
-	quota := make([]int, cfg.Clients)
-	issued := make([]int, cfg.Clients)
+	r.quota = make([]int, cfg.Clients)
+	r.issued = make([]int, cfg.Clients)
+	r.clientIdx = make(map[sim.ProcessID]int, cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
-		quota[i] = cfg.Txns / cfg.Clients
+		r.quota[i] = cfg.Txns / cfg.Clients
 		if i < cfg.Txns%cfg.Clients {
-			quota[i]++
+			r.quota[i]++
 		}
+		r.clientIdx[d.Clients[i]] = i
 	}
-	// refill tops every client up to its pipeline depth (closed loop).
+	if r.runner != nil {
+		// Mid-window refill: completions re-arm their client inside the
+		// round instead of waiting for the next engine exit.
+		r.runner.SetRefill(r.refillClient)
+	}
+	// refill tops every client up between engine runs (the initial fill,
+	// and the whole story for the serial engine).
 	refill := func() {
-		for i, cl := range r.cls {
-			for issued[i] < quota[i] && cl.Outstanding() < cfg.Pipeline {
-				d.Invoke(d.Clients[i], r.nextTxn(i))
-				issued[i]++
-				rep.Issued++
-			}
+		for i := range r.cls {
+			r.refillClient(d.Clients[i], d.Kernel.Now())
 		}
 	}
 	// needRefill is the scheduler stop predicate: hand control back to
 	// the driver the moment some client has spare pipeline capacity.
 	needRefill := func() bool {
 		for i, cl := range r.cls {
-			if issued[i] < quota[i] && cl.Outstanding() < cfg.Pipeline {
+			if r.issued[i] < r.quota[i] && cl.Outstanding() < cfg.Pipeline {
 				return true
 			}
 		}
@@ -528,6 +736,9 @@ func (r *run) runClosed() (*Report, error) {
 		}
 	}
 	r.collect()
+	for _, n := range r.issued {
+		rep.Issued += n
+	}
 	return r.finish(start), nil
 }
 
@@ -564,6 +775,12 @@ func (r *run) runOpen() (*Report, error) {
 		d.Kernel.AdvanceTo(at)
 		i := injected % cfg.Clients
 		tid := d.Invoke(d.Clients[i], r.nextTxn(i))
+		if r.runner != nil {
+			// Lift the owning shard's persistent clock to the scheduled
+			// instant so the lookahead engine never steps the injection
+			// early (no-op under the barrier engine).
+			r.runner.NotifyInvoked(d.Clients[i], at)
+		}
 		r.injectAt[tid] = int64(at)
 		rep.Issued++
 		depth := 0

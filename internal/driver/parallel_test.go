@@ -39,11 +39,12 @@ func reportFingerprint(t *testing.T, rep *Report) string {
 }
 
 // TestShardedWorkersByteIdentical is the serial-equals-parallel contract
-// of sharded stepping: for a fixed seed and shard partition, Workers is
-// an execution knob, not a semantic one. Workers=1 executes the window
-// schedule serially and is the differential oracle; Workers=2 and 4 must
-// reproduce its report, history and ride-along certification verdict
-// byte for byte, across three protocols in both load regimes.
+// of sharded stepping: for a fixed seed, shard partition and engine,
+// Workers is an execution knob, not a semantic one. Workers=1 executes
+// the schedule serially and is the differential oracle; Workers=2, 4 and
+// 8 must reproduce its report, history and ride-along certification
+// verdict byte for byte, across three protocols in both load regimes on
+// both the conservative-lookahead and the barrier engine.
 func TestShardedWorkersByteIdentical(t *testing.T) {
 	protos := []struct {
 		name string
@@ -60,43 +61,134 @@ func TestShardedWorkersByteIdentical(t *testing.T) {
 		{"closed", 0},
 		{"open", 800},
 	}
+	engines := []struct {
+		name    string
+		barrier bool
+	}{
+		{"lookahead", false},
+		{"barrier", true},
+	}
 	for _, p := range protos {
 		for _, mode := range modes {
-			t.Run(p.name+"-"+mode.name, func(t *testing.T) {
-				base := Config{
-					Clients: 8, Txns: 72, Mix: workload.Balanced(), Seed: 7,
-					Servers: 4, ObjectsPerServer: 2,
-					Rate:          mode.rate,
-					RecordHistory: true, Certify: true,
-				}
-				runWith := func(workers int) (*Report, string) {
-					cfg := base
-					cfg.Workers = workers
-					rep, err := Run(p.mk(), cfg)
-					if err != nil {
-						t.Fatalf("workers=%d: %v", workers, err)
+			for _, eng := range engines {
+				t.Run(p.name+"-"+mode.name+"-"+eng.name, func(t *testing.T) {
+					base := Config{
+						Clients: 8, Txns: 72, Mix: workload.Balanced(), Seed: 7,
+						Servers: 4, ObjectsPerServer: 2,
+						Rate:          mode.rate,
+						Barrier:       eng.barrier,
+						RecordHistory: true, Certify: true,
 					}
-					if rep.Incomplete != 0 {
-						t.Fatalf("workers=%d: %d transactions incomplete", workers, rep.Incomplete)
+					runWith := func(workers int) (*Report, string) {
+						cfg := base
+						cfg.Workers = workers
+						rep, err := Run(p.mk(), cfg)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						if rep.Incomplete != 0 {
+							t.Fatalf("workers=%d: %d transactions incomplete", workers, rep.Incomplete)
+						}
+						if rep.Committed == 0 {
+							t.Fatalf("workers=%d: nothing committed", workers)
+						}
+						if rep.Sharding == nil || rep.Sharding.Shards != 4 {
+							t.Fatalf("workers=%d: sharding stats missing or wrong: %+v", workers, rep.Sharding)
+						}
+						if rep.Sharding.Lookahead == eng.barrier {
+							t.Fatalf("workers=%d: wanted %s engine, stats say Lookahead=%v",
+								workers, eng.name, rep.Sharding.Lookahead)
+						}
+						return rep, reportFingerprint(t, rep)
 					}
-					if rep.Committed == 0 {
-						t.Fatalf("workers=%d: nothing committed", workers)
+					oracle, want := runWith(1)
+					if oracle.Cert == nil {
+						t.Fatal("ride-along certification did not run")
 					}
-					if rep.Sharding == nil || rep.Sharding.Shards != 4 {
-						t.Fatalf("workers=%d: sharding stats missing or wrong: %+v", workers, rep.Sharding)
+					for _, workers := range []int{2, 4, 8} {
+						_, got := runWith(workers)
+						diffLines(t, "sharded report", want, got)
 					}
-					return rep, reportFingerprint(t, rep)
-				}
-				oracle, want := runWith(1)
-				if oracle.Cert == nil {
-					t.Fatal("ride-along certification did not run")
-				}
-				for _, workers := range []int{2, 4} {
-					_, got := runWith(workers)
-					diffLines(t, "sharded report", want, got)
-				}
-			})
+				})
+			}
 		}
+	}
+}
+
+// TestRebalanceDeterministic: the probe-run shard rebalance is a pure
+// function of the seed and configuration — two rebalanced runs reproduce
+// each other byte for byte, the measured partition is reported, and the
+// rebalanced schedule is still worker-count-independent and certifies
+// clean.
+func TestRebalanceDeterministic(t *testing.T) {
+	base := Config{
+		Clients: 8, Txns: 72, Mix: workload.Balanced(), Seed: 7,
+		Servers: 4, ObjectsPerServer: 2,
+		Rebalance:     true,
+		RecordHistory: true, Certify: true,
+	}
+	runWith := func(workers int) (*Report, string) {
+		cfg := base
+		cfg.Workers = workers
+		rep, err := Run(cops.New(), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Sharding == nil || !rep.Sharding.Rebalanced {
+			t.Fatalf("workers=%d: rebalance did not happen: %+v", workers, rep.Sharding)
+		}
+		if len(rep.Sharding.Partition) == 0 {
+			t.Fatalf("workers=%d: rebalanced partition not reported", workers)
+		}
+		if rep.Cert == nil || !rep.Cert.OK {
+			t.Fatalf("workers=%d: rebalanced run does not certify: %+v", workers, rep.Cert)
+		}
+		return rep, reportFingerprint(t, rep)
+	}
+	_, want := runWith(1)
+	_, again := runWith(1)
+	diffLines(t, "rebalance repeat", want, again)
+	for _, workers := range []int{2, 4} {
+		_, got := runWith(workers)
+		diffLines(t, "rebalanced report", want, got)
+	}
+}
+
+// TestMidWindowRefillKeepsThroughput regression-pins the ROADMAP gap the
+// mid-window refill closes: with completions re-arming their client
+// inside the round, the default lookahead engine's closed-loop
+// throughput must not read below the serial engine's at equal
+// parameters. The barrier engine keeps a small residual gap — its
+// shards restart every window at the merged global clock, delaying
+// deliveries the lookahead engine's persistent per-shard clocks make on
+// time — so it is only pinned to stay within 5%. (All three schedules
+// are deterministic, so the comparisons are exact, not statistical.)
+func TestMidWindowRefillKeepsThroughput(t *testing.T) {
+	base := Config{
+		Clients: 8, Txns: 200, Mix: workload.Balanced(), Seed: 7,
+		Servers: 4, ObjectsPerServer: 2,
+	}
+	run := func(workers int, barrier bool) *Report {
+		cfg := base
+		cfg.Workers = workers
+		cfg.Barrier = barrier
+		rep, err := Run(cops.New(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Incomplete != 0 {
+			t.Fatalf("workers=%d barrier=%v: %d incomplete", workers, barrier, rep.Incomplete)
+		}
+		return rep
+	}
+	serial := run(0, false)
+	if la := run(1, false); la.Throughput < serial.Throughput {
+		t.Errorf("lookahead closed-loop throughput %.1f reads below serial %.1f at equal parameters",
+			la.Throughput, serial.Throughput)
+	}
+	if ba := run(1, true); ba.Throughput < 0.95*serial.Throughput {
+		t.Errorf("barrier closed-loop throughput %.1f fell more than 5%% below serial %.1f",
+			ba.Throughput, serial.Throughput)
 	}
 }
 
@@ -104,26 +196,29 @@ func TestShardedWorkersByteIdentical(t *testing.T) {
 // member of the asynchronous model's schedule space, not a weaker one —
 // causal protocols must still certify clean at their claimed level on
 // sharded histories (the same sweep the ptest conformance suite runs
-// serially).
+// serially), under both the lookahead and the barrier engine.
 func TestShardedRunsAreValidExecutions(t *testing.T) {
 	for _, mk := range []func() protocol.Protocol{
 		func() protocol.Protocol { return cops.New() },
 		func() protocol.Protocol { return cure.New() },
 	} {
-		p := mk()
-		rep, err := Run(p, Config{
-			Clients: 8, Txns: 72, Mix: workload.Balanced(), Seed: 3,
-			Servers: 2, ObjectsPerServer: 1,
-			Workers: 2, RecordHistory: true, Certify: true,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if rep.Incomplete != 0 {
-			t.Fatalf("%s: %d transactions incomplete", rep.Protocol, rep.Incomplete)
-		}
-		if rep.Cert == nil || !rep.Cert.OK {
-			t.Fatalf("%s violates its claimed level under sharded stepping: %+v", rep.Protocol, rep.Cert)
+		for _, barrier := range []bool{false, true} {
+			p := mk()
+			rep, err := Run(p, Config{
+				Clients: 8, Txns: 72, Mix: workload.Balanced(), Seed: 3,
+				Servers: 2, ObjectsPerServer: 1,
+				Workers: 2, Barrier: barrier, RecordHistory: true, Certify: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Incomplete != 0 {
+				t.Fatalf("%s (barrier=%v): %d transactions incomplete", rep.Protocol, barrier, rep.Incomplete)
+			}
+			if rep.Cert == nil || !rep.Cert.OK {
+				t.Fatalf("%s (barrier=%v) violates its claimed level under sharded stepping: %+v",
+					rep.Protocol, barrier, rep.Cert)
+			}
 		}
 	}
 }
@@ -135,5 +230,20 @@ func TestShardedConfigValidation(t *testing.T) {
 	}
 	if _, err := Run(cops.New(), Config{Txns: 4, Workers: 1, NoTimeLeap: true}); err == nil {
 		t.Fatal("Workers+NoTimeLeap accepted")
+	}
+	if _, err := Run(cops.New(), Config{Txns: 4, Barrier: true}); err == nil {
+		t.Fatal("Barrier without Workers accepted")
+	}
+	if _, err := Run(cops.New(), Config{Txns: 4, Rebalance: true}); err == nil {
+		t.Fatal("Rebalance without Workers accepted")
+	}
+	reb := Config{Clients: 2, Txns: 4, Workers: 1, Rebalance: true}
+	reb.defaults()
+	d, err := deploy(cops.New(), reb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOn(d, reb); err == nil {
+		t.Fatal("RunOn with Rebalance accepted (needs the probe deployment only Run builds)")
 	}
 }

@@ -71,6 +71,11 @@ type Kernel struct {
 	// cannot come due before the window ends. An undeclared floor is
 	// always safe — windows shrink to a single microsecond.
 	latencyFloor Time
+	// linkFloor overrides the global floor per link (nil until the first
+	// declaration). The lookahead runner derives per-shard-pair null-message
+	// bounds from it: a slow link declared with a higher floor buys the
+	// receiving shard more lookahead than the global floor would.
+	linkFloor map[Link]Time
 	// sent is a registry of every payload ever sent, by message ID, used
 	// by trace analysis (spec measurements). Payloads are immutable after
 	// send by convention, so snapshots share the registry entries.
@@ -127,6 +132,36 @@ func (k *Kernel) SetLatencyFloor(d Time) {
 
 // LatencyFloor returns the declared latency lower bound (0 = undeclared).
 func (k *Kernel) LatencyFloor() Time { return k.latencyFloor }
+
+// SetLinkLatencyFloor declares a per-link lower bound on the latency
+// model's samples, overriding the global floor for that link only. Like
+// the global floor it is a declaration, not a measurement: whoever
+// constructed the latency model states it. The lookahead runner folds
+// per-link floors into its shard-pair bound matrix, so links declared
+// slower than the global floor widen the receiving shard's conservative
+// advancement bound. Declaring a floor above the model's true minimum on
+// a link understates nothing for correctness of the asynchronous model
+// (deliveries are never early) but would let the lookahead runner deliver
+// a faster message later than the serial scheduler would — still a valid
+// schedule, just a different one.
+func (k *Kernel) SetLinkLatencyFloor(l Link, d Time) {
+	if d < 0 {
+		d = 0
+	}
+	if k.linkFloor == nil {
+		k.linkFloor = make(map[Link]Time)
+	}
+	k.linkFloor[l] = d
+}
+
+// LinkLatencyFloor returns the declared floor for the link: its own
+// declaration if present, the global floor otherwise.
+func (k *Kernel) LinkLatencyFloor(l Link) Time {
+	if f, ok := k.linkFloor[l]; ok {
+		return f
+	}
+	return k.latencyFloor
+}
 
 // Add registers a process. It panics on duplicate IDs.
 func (k *Kernel) Add(p Process) {
@@ -383,6 +418,12 @@ func (k *Kernel) Snapshot() *Kernel {
 		keepPayloads:   k.keepPayloads,
 		latencyFloor:   k.latencyFloor,
 		sent:           make(map[int64]Payload, len(k.sent)),
+	}
+	if len(k.linkFloor) > 0 {
+		c.linkFloor = make(map[Link]Time, len(k.linkFloor))
+		for l, f := range k.linkFloor {
+			c.linkFloor[l] = f
+		}
 	}
 	for id, p := range k.sent {
 		c.sent[id] = p

@@ -1,23 +1,35 @@
 package sim
 
 import (
+	"container/heap"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
 
-// ShardedRunner steps a kernel in conservative time windows with the
-// process set partitioned into shards, so the protocol state machines of
-// different shards execute concurrently on a worker pool while the
-// run stays fully deterministic.
+// ShardedRunner steps a kernel with the process set partitioned into
+// shards, so the protocol state machines of different shards execute
+// concurrently on a worker pool while the run stays fully deterministic.
+// It implements two conservative parallel discrete-event engines sharing
+// one merge discipline:
 //
-// The execution model is window-synchronized parallel discrete-event
-// simulation (the classic "bounded lag" / time-bucket design):
+//   - The window-synchronized barrier (NewShardedRunner), the classic
+//     "bounded lag" / time-bucket design: every round executes one global
+//     window [T, T+Δ) where Δ is the kernel's declared latency floor.
+//   - Per-link conservative lookahead (NewLookaheadRunner), the classic
+//     Chandy–Misra null-message design: shards keep persistent local
+//     clocks and each round computes, per shard, the earliest instant any
+//     other shard could still affect it — its advancement bound — from
+//     the other shards' next-event promises plus the per-link latency
+//     floors. A shard whose bound lies past the global window edge simply
+//     keeps going; no shard ever waits on one it cannot be affected by.
 //
-//  1. The runner (serial) picks the next window [T, T+Δ), where Δ is the
-//     kernel's declared latency floor. If nothing can act at the current
-//     instant it first leaps T to the earliest future arrival or declared
-//     process wake time, exactly like the Network scheduler's time-leap.
+// A barrier round proceeds as:
+//
+//  1. The runner (serial) picks the next window [T, T+Δ). If nothing can
+//     act at the current instant it first leaps T to the earliest future
+//     arrival or declared process wake time, exactly like the Network
+//     scheduler's time-leap.
 //  2. It pops every in-transit message with ReadyAt < T+Δ from the global
 //     arrival index and routes it to the destination process's shard.
 //  3. Every shard with work runs an independent local sub-simulation of
@@ -34,45 +46,69 @@ import (
 //     interleaving — and the kernel clock advances to the latest shard-
 //     local clock.
 //
-// The merge rule is what makes the mode deterministic: for a fixed seed,
-// shard partition and window width, the recorded history, every report
-// field and the full JSON output are byte-identical whatever the worker
-// count — Workers=1 executes the identical schedule serially and is the
-// differential oracle for Workers≥2 (asserted by tests in internal/driver
-// and cmd/bench and by the CI equivalence smoke).
+// A lookahead round replaces steps 1–2 with the null-message bound
+// computation (see roundLookahead) and gives every shard its own window
+// [clock_i, bound_i); steps 3–4 are identical. The merge rule is what
+// makes both modes deterministic: for a fixed seed, shard partition and
+// engine, the recorded history, every report field and the full JSON
+// output are byte-identical whatever the worker count — Workers=1
+// executes the identical schedule serially and is the differential
+// oracle for Workers≥2 (asserted by tests in internal/driver and
+// cmd/bench and by the CI equivalence smoke).
 //
 // Why no message sent inside a window can matter inside it: link latency
-// is at least the declared floor Δ, so a message sent at or after T has
-// ReadyAt ≥ T+Δ — past the window end — and cross-shard interaction
-// within a window is impossible. Shard-local clocks may run past the
-// window end while draining step chains; deliveries are then simply late
-// (DeliveredAt ≥ ReadyAt always holds), which the asynchronous system
-// model explicitly permits — the adversary may delay any delivery. A
-// sharded execution is therefore a valid execution of the model, just a
-// different member of the schedule space than the serial Network
-// scheduler picks; histories it produces certify at the protocols'
-// claimed consistency levels like any other schedule (asserted
+// is at least the declared floor, so a message sent at or after a shard's
+// window start has ReadyAt past the shard's bound — cross-shard
+// interaction within a round is impossible. Shard-local clocks may run
+// past the window end while draining step chains; deliveries are then
+// simply late (DeliveredAt ≥ ReadyAt always holds), which the
+// asynchronous system model explicitly permits — the adversary may delay
+// any delivery. A sharded execution is therefore a valid execution of the
+// model, just a different member of the schedule space than the serial
+// Network scheduler picks; histories it produces certify at the
+// protocols' claimed consistency levels like any other schedule (asserted
 // ride-along by the driver's certification).
 type ShardedRunner struct {
-	k       *Kernel
-	workers int
-	delta   Time
-	shards  []*shard
-	shardOf map[ProcessID]*shard
-	nProcs  int
-	horizon Time
+	k         *Kernel
+	workers   int
+	delta     Time
+	lookahead bool
+	shards    []*shard
+	shardOf   map[ProcessID]*shard
+	nProcs    int
+	horizon   Time
+
+	// floors is the lookahead engine's shard-pair bound matrix:
+	// floors[j][i] is the smallest declared latency floor over links from
+	// a shard-j process to a shard-i process — the minimum transit time of
+	// any influence j can exert on i. Always ≥ 1.
+	floors [][]Time
+	// Per-round scratch (lookahead), sized to the shard count once.
+	e, prom, bnd []Time
+	settled      []bool
+	arrTop       []*Message
+	shardReady   []bool
+	shardWake    []Time
 
 	stats ShardingStats
 }
 
+// infTime is the promise value of a shard with no next event: far enough
+// past any reachable virtual instant that adding a latency floor cannot
+// overflow.
+const infTime = Time(1) << 60
+
 // ShardingStats counts the deterministic shape of a sharded run — every
-// field is a pure function of seed, configuration and shard partition,
-// never of worker count or thread timing.
+// field is a pure function of seed, configuration, engine and shard
+// partition, never of worker count or thread timing.
 type ShardingStats struct {
 	// Shards is the partition size; Workers the configured pool size.
 	Shards  int
 	Workers int
-	// Rounds is the number of executed windows; Events the total events
+	// Lookahead identifies the engine: false is the window-synchronized
+	// barrier, true the per-link conservative lookahead.
+	Lookahead bool
+	// Rounds is the number of executed rounds; Events the total events
 	// (deliveries + steps) across all shards and rounds.
 	Rounds int
 	Events int
@@ -85,6 +121,30 @@ type ShardingStats struct {
 	// ActiveShardRounds sums the number of shards that had work per
 	// round (occupancy: ActiveShardRounds/Rounds ≤ Shards).
 	ActiveShardRounds int
+	// NullAdvances counts shard-rounds whose advancement bound exceeded
+	// the global barrier edge (earliest pending event plus the global
+	// floor): rounds where the per-link bounds provably admitted more
+	// progress than a barrier window would have. Lookahead only.
+	NullAdvances int
+	// BlockedShardRounds counts shard-rounds that had a next local event
+	// but whose bound did not yet admit it; BlockedTime sums the
+	// shortfall (next event minus bound) over them. Lookahead only.
+	BlockedShardRounds int
+	BlockedTime        Time
+	// PerShard breaks events and blocking down by shard index.
+	PerShard []ShardLoad
+	// Partition records the process→shard assignment of the run;
+	// Rebalanced is set by the driver when the assignment came from a
+	// measured probe run rather than the static stripe.
+	Rebalanced bool
+	Partition  map[string]int
+}
+
+// ShardLoad is one shard's slice of the run.
+type ShardLoad struct {
+	Events        int
+	BlockedRounds int
+	BlockedTime   Time
 }
 
 // shardSend is one buffered outbound message awaiting the serial merge.
@@ -95,31 +155,55 @@ type shardSend struct {
 }
 
 // shard owns a disjoint subset of the kernel's processes plus the
-// transient per-window state of its local sub-simulation.
+// transient per-round state of its local sub-simulation.
 type shard struct {
+	idx   int
+	la    bool
 	procs []Process
 	ids   []ProcessID
 	local map[ProcessID]int
 
-	due     []*Message   // window deliveries, (ReadyAt, ID) order
-	inbox   [][]*Message // per local process
-	pending int
-	t       Time
-	events  int
-	sends   []shardSend
-	di      int // first undelivered entry of due
+	due       []*Message   // barrier: window deliveries, (ReadyAt, ID) order
+	arr       arrivalHeap  // lookahead: undelivered arrivals for this shard
+	inbox     [][]*Message // per local process
+	pending   int
+	t         Time
+	events    int
+	evBy      []int // per local process, for the rebalance load profile
+	sends     []shardSend
+	di        int        // first undelivered entry of due (barrier)
+	delivered []*Message // messages delivered this round (lookahead)
+
+	wstart, wend Time // this round's window (barrier)
+	bound        Time // this round's advancement bound (lookahead)
+
+	refill func(ProcessID, Time)
 }
 
 // NewShardedRunner partitions the kernel's current process set with
 // shardOf (which must map every process to [0, nShards)) and returns a
-// runner executing sharded stepping on max(1, workers) goroutines.
-// Workers=1 runs the identical schedule serially.
+// runner executing barrier-windowed sharded stepping on max(1, workers)
+// goroutines. Workers=1 runs the identical schedule serially.
 //
 // The kernel must be in load mode (event recording disabled via
 // SetTraceCap(-1)): shards execute off the global event path, so there is
 // no meaningful global interleaving to record. The process set must not
 // change for the runner's lifetime.
 func NewShardedRunner(k *Kernel, shardOf func(ProcessID) int, nShards, workers int) (*ShardedRunner, error) {
+	return newShardedRunner(k, shardOf, nShards, workers, false)
+}
+
+// NewLookaheadRunner is NewShardedRunner with the per-link conservative
+// lookahead engine: shards keep persistent local clocks and advance to
+// per-shard null-message bounds instead of a global window edge. While a
+// lookahead runner is stepping, it owns the kernel's arrival index; Run
+// hands it back before returning, so the kernel stays coherent between
+// Runs exactly as under the barrier engine.
+func NewLookaheadRunner(k *Kernel, shardOf func(ProcessID) int, nShards, workers int) (*ShardedRunner, error) {
+	return newShardedRunner(k, shardOf, nShards, workers, true)
+}
+
+func newShardedRunner(k *Kernel, shardOf func(ProcessID) int, nShards, workers int, lookahead bool) (*ShardedRunner, error) {
 	if nShards < 1 {
 		return nil, fmt.Errorf("sim: sharded runner needs at least 1 shard, got %d", nShards)
 	}
@@ -130,19 +214,26 @@ func NewShardedRunner(k *Kernel, shardOf func(ProcessID) int, nShards, workers i
 		workers = 1
 	}
 	r := &ShardedRunner{
-		k:       k,
-		workers: workers,
-		delta:   k.latencyFloor,
-		shards:  make([]*shard, nShards),
-		shardOf: make(map[ProcessID]*shard, len(k.order)),
-		nProcs:  len(k.order),
-		stats:   ShardingStats{Shards: nShards, Workers: workers},
+		k:         k,
+		workers:   workers,
+		delta:     k.latencyFloor,
+		lookahead: lookahead,
+		shards:    make([]*shard, nShards),
+		shardOf:   make(map[ProcessID]*shard, len(k.order)),
+		nProcs:    len(k.order),
+		stats: ShardingStats{
+			Shards:    nShards,
+			Workers:   workers,
+			Lookahead: lookahead,
+			PerShard:  make([]ShardLoad, nShards),
+			Partition: make(map[string]int, len(k.order)),
+		},
 	}
 	if r.delta < 1 {
 		r.delta = 1
 	}
 	for i := range r.shards {
-		r.shards[i] = &shard{local: make(map[ProcessID]int)}
+		r.shards[i] = &shard{idx: i, la: lookahead, local: make(map[ProcessID]int), t: k.now}
 	}
 	// k.order is sorted, so every shard's process list is sorted too and
 	// the shard-local pending-inbox scan matches the Network scheduler's
@@ -157,43 +248,147 @@ func NewShardedRunner(k *Kernel, shardOf func(ProcessID) int, nShards, workers i
 		sh.procs = append(sh.procs, k.procs[pid])
 		sh.ids = append(sh.ids, pid)
 		r.shardOf[pid] = sh
+		r.stats.Partition[string(pid)] = s
 	}
 	for _, sh := range r.shards {
 		sh.inbox = make([][]*Message, len(sh.procs))
+		sh.evBy = make([]int, len(sh.procs))
+	}
+	if lookahead {
+		r.e = make([]Time, nShards)
+		r.prom = make([]Time, nShards)
+		r.bnd = make([]Time, nShards)
+		r.settled = make([]bool, nShards)
+		r.arrTop = make([]*Message, nShards)
+		r.shardReady = make([]bool, nShards)
+		r.shardWake = make([]Time, nShards)
+		r.buildFloors()
 	}
 	return r, nil
+}
+
+// buildFloors fills the shard-pair bound matrix. Without per-link floor
+// declarations every entry is the global floor; with them, the exact
+// minimum over the links between each shard pair (a one-time O(P²) pass,
+// only paid when per-link floors exist).
+func (r *ShardedRunner) buildFloors() {
+	S := len(r.shards)
+	base := r.delta
+	r.floors = make([][]Time, S)
+	for i := range r.floors {
+		row := make([]Time, S)
+		for j := range row {
+			row[j] = base
+		}
+		r.floors[i] = row
+	}
+	if len(r.k.linkFloor) == 0 {
+		return
+	}
+	for i := range r.floors {
+		for j := range r.floors[i] {
+			if i != j {
+				r.floors[i][j] = infTime
+			}
+		}
+	}
+	for _, from := range r.k.order {
+		si := r.shardOf[from].idx
+		for _, to := range r.k.order {
+			sj := r.shardOf[to].idx
+			if si == sj {
+				continue
+			}
+			f := r.k.LinkLatencyFloor(Link{From: from, To: to})
+			if f < 1 {
+				f = 1
+			}
+			if f < r.floors[si][sj] {
+				r.floors[si][sj] = f
+			}
+		}
+	}
 }
 
 // Stats returns the deterministic run-shape counters accumulated so far.
 func (r *ShardedRunner) Stats() ShardingStats { return r.stats }
 
-// SetHorizon bounds the windows like Network.Horizon: no window starts
-// at or past it (Run returns instead, handing control back to the
-// driver's open-loop injection) and window ends are clipped to it. The
-// bound has window granularity, not event granularity: a shard draining
-// a deliver→step chain that began before the horizon may push its local
-// clock — and thus the kernel clock — a few StepCosts past it, so an
-// arrival scheduled at the horizon is invoked at the first actionable
-// instant at or after its scheduled one. The driver accounts queueing
-// delay from the scheduled instant either way, so the lag lands in the
-// measured queueing delay, deterministically. 0 disables the bound.
+// ProcessEvents returns how many events (deliveries to, plus steps of)
+// each process has executed so far — the deterministic load profile the
+// driver's shard rebalance derives its striping from.
+func (r *ShardedRunner) ProcessEvents() map[ProcessID]int {
+	out := make(map[ProcessID]int, r.nProcs)
+	for _, sh := range r.shards {
+		for li, n := range sh.evBy {
+			out[sh.ids[li]] = n
+		}
+	}
+	return out
+}
+
+// SetRefill installs a hook called after every process step, from inside
+// the parallel window execution, with the stepped process's ID and the
+// shard-local clock. The closed-loop driver uses it to top a client back
+// up the moment a transaction completes — mid-window — instead of waiting
+// for the round to end. The hook runs on worker goroutines: it must touch
+// only state owned by the stepped process (the driver's per-client
+// generators qualify; anything kernel-global does not).
+func (r *ShardedRunner) SetRefill(f func(ProcessID, Time)) {
+	for _, sh := range r.shards {
+		sh.refill = f
+	}
+}
+
+// NotifyInvoked tells the runner about an external injection (the
+// open-loop driver invoking a client) at the given instant. The lookahead
+// engine lifts the owning shard's persistent clock to it so the injected
+// work is never stepped before its scheduled arrival; barrier windows
+// already start at or after the kernel clock, so this is a no-op there.
+func (r *ShardedRunner) NotifyInvoked(pid ProcessID, at Time) {
+	if !r.lookahead {
+		return
+	}
+	if sh, ok := r.shardOf[pid]; ok && at > sh.t {
+		sh.t = at
+	}
+}
+
+// SetHorizon bounds the run like Network.Horizon: no round starts at or
+// past it (Run returns instead, handing control back to the driver's
+// open-loop injection) and window ends / advancement bounds are clipped
+// to it. The bound has window granularity, not event granularity: a shard
+// draining a deliver→step chain that began before the horizon may push
+// its local clock — and thus the kernel clock — a few StepCosts past it,
+// so an arrival scheduled at the horizon is invoked at the first
+// actionable instant at or after its scheduled one. The driver accounts
+// queueing delay from the scheduled instant either way, so the lag lands
+// in the measured queueing delay, deterministically. 0 disables the bound.
 func (r *ShardedRunner) SetHorizon(t Time) { r.horizon = t }
 
-// Run executes windows until the system quiesces, the stop predicate
-// returns true (checked between windows — the sharded counterpart of
+// Run executes rounds until the system quiesces, the stop predicate
+// returns true (checked between rounds — the sharded counterpart of
 // sim.Run checking between events), the horizon is reached, or at least
 // maxEvents events have executed. It returns the events executed. The
-// event budget has window granularity: the run stops after the first
-// window that crosses it, overshooting by at most the active shard
+// event budget has round granularity: the run stops after the first
+// round that crosses it, overshooting by at most the active shard
 // count (each shard of a round is capped at an equal share of the
 // remaining budget) — deterministically so.
 func (r *ShardedRunner) Run(stop func(*Kernel) bool, maxEvents int) int {
+	if r.lookahead {
+		defer r.restoreArrivals()
+	}
 	n := 0
 	for n < maxEvents {
 		if stop != nil && stop(r.k) {
 			return n
 		}
-		executed, more := r.round(maxEvents - n)
+		var executed int
+		var more bool
+		if r.lookahead {
+			executed, more = r.roundLookahead(maxEvents - n)
+		} else {
+			executed, more = r.round(maxEvents - n)
+		}
 		n += executed
 		if !more {
 			return n
@@ -202,35 +397,163 @@ func (r *ShardedRunner) Run(stop func(*Kernel) bool, maxEvents int) int {
 	return n
 }
 
-// round executes one window. It returns the events executed and whether
-// another window could do work.
+// restoreArrivals hands arrival indexing back to the kernel when a
+// lookahead Run returns: every undelivered message parked in a shard heap
+// goes back onto the kernel heap, so between Runs the kernel is exactly
+// as coherent as under the serial schedulers or the barrier engine.
+func (r *ShardedRunner) restoreArrivals() {
+	for _, sh := range r.shards {
+		for sh.arr.Len() > 0 {
+			m := heap.Pop(&sh.arr).(*Message)
+			if !m.gone {
+				r.k.pushArrival(m)
+			}
+		}
+	}
+}
+
+// adoptPending moves kernel income buffers (leftovers of a
+// budget-exhausted round, or deliveries a serial scheduler made before
+// this runner took over) into the owning shards' local buffers.
+func (r *ShardedRunner) adoptPending() {
+	k := r.k
+	if k.pendingInboxes == 0 {
+		return
+	}
+	for _, pid := range k.order {
+		msgs := k.inbox[pid]
+		if len(msgs) == 0 {
+			continue
+		}
+		sh := r.shardOf[pid]
+		li := sh.local[pid]
+		if len(sh.inbox[li]) == 0 {
+			sh.pending++
+		}
+		sh.inbox[li] = append(sh.inbox[li], msgs...)
+		k.inbox[pid] = nil
+	}
+	k.pendingInboxes = 0
+}
+
+// runActive executes the active shards' windows — in parallel when there
+// is both a pool and enough of them. Each shard gets an equal share of
+// the remaining budget (at least one event), so a round overshoots the
+// budget by at most the active shard count instead of a factor of it.
+// The share is a pure function of round inputs — worker-independent like
+// everything else.
+func (r *ShardedRunner) runActive(active []*shard, budget int) {
+	share := (budget + len(active) - 1) / len(active)
+	if share < 1 {
+		share = 1
+	}
+	if r.workers <= 1 || len(active) == 1 {
+		for _, sh := range active {
+			sh.run(share)
+		}
+		return
+	}
+	nw := r.workers
+	if nw > len(active) {
+		nw = len(active)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(active) {
+					return
+				}
+				active[i].run(share)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// merge is the serial commit phase shared by both engines: buffered sends
+// enter the kernel in fixed shard order, then send order (IDs, link
+// sequence numbers, latency draws from the single kernel RNG), leftovers
+// of budget-exhausted shards are restored, the kernel clock advances to
+// the latest shard-local clock, and events are accounted.
+func (r *ShardedRunner) merge(active []*shard) int {
+	k := r.k
+	total, crit := 0, 0
+	newNow := k.now
+	for _, sh := range active {
+		for _, ps := range sh.sends {
+			k.send(ps.from, ps.out, ps.at)
+		}
+		sh.sends = sh.sends[:0]
+		for _, m := range sh.due[sh.di:] {
+			// Budget ran out before delivery: the message goes back into
+			// transit untouched.
+			m.gone = false
+			k.byID[m.ID] = m
+			k.pushArrival(m)
+		}
+		sh.due = sh.due[:0]
+		sh.di = 0
+		for _, m := range sh.delivered {
+			delete(k.byID, m.ID)
+		}
+		sh.delivered = sh.delivered[:0]
+		for li, in := range sh.inbox {
+			if len(in) == 0 {
+				continue
+			}
+			// Budget ran out between delivery and the consuming step: the
+			// messages persist in the kernel income buffer.
+			pid := sh.ids[li]
+			if len(k.inbox[pid]) == 0 {
+				k.pendingInboxes++
+			}
+			k.inbox[pid] = append(k.inbox[pid], in...)
+			sh.inbox[li] = nil
+		}
+		sh.pending = 0
+		total += sh.events
+		r.stats.PerShard[sh.idx].Events += sh.events
+		if sh.events > crit {
+			crit = sh.events
+		}
+		if sh.t > newNow {
+			newNow = sh.t
+		}
+		sh.events = 0
+	}
+	k.AdvanceTo(newNow)
+	k.compactTransit()
+	// Load-mode event accounting, identical to what per-event record()
+	// calls would have done.
+	k.evSeq += int64(total)
+	k.trace.Dropped += int64(total)
+
+	r.stats.Rounds++
+	r.stats.Events += total
+	r.stats.CriticalEvents += crit
+	r.stats.ActiveShardRounds += len(active)
+	return total
+}
+
+// round executes one barrier window. It returns the events executed and
+// whether another round could do work.
 func (r *ShardedRunner) round(budget int) (int, bool) {
 	k := r.k
 	if len(k.order) != r.nProcs {
 		panic("sim: process set changed under a ShardedRunner")
 	}
-
-	// Adopt any messages sitting in kernel income buffers (leftovers of a
-	// budget-exhausted window, or deliveries a serial scheduler made
-	// before this runner took over): they move into the owning shard's
-	// local buffers and make it actable now.
+	r.adoptPending()
 	anyPending := false
-	if k.pendingInboxes > 0 {
-		for _, pid := range k.order {
-			msgs := k.inbox[pid]
-			if len(msgs) == 0 {
-				continue
-			}
-			sh := r.shardOf[pid]
-			li := sh.local[pid]
-			if len(sh.inbox[li]) == 0 {
-				sh.pending++
-			}
-			sh.inbox[li] = append(sh.inbox[li], msgs...)
-			k.inbox[pid] = nil
+	for _, sh := range r.shards {
+		if sh.pending > 0 {
 			anyPending = true
+			break
 		}
-		k.pendingInboxes = 0
 	}
 
 	// Serial pre-scan: earliest arrival, process readiness and wakes.
@@ -306,12 +629,12 @@ func (r *ShardedRunner) round(budget int) (int, bool) {
 		r.shardOf[m.To].due = append(r.shardOf[m.To].due, m)
 	}
 
-	// Run the active shards — in parallel when there is both a pool and
-	// enough of them. Activity is decided serially from round inputs, so
-	// it cannot depend on worker timing.
+	// Activity is decided serially from round inputs, so it cannot depend
+	// on worker timing.
 	active := r.shards[:0:0]
 	for si, sh := range r.shards {
 		if len(sh.due) > 0 || sh.pending > 0 || shardReady[si] || (shardHasWake[si] && shardWake[si] < tend) {
+			sh.wstart, sh.wend = tstart, tend
 			active = append(active, sh)
 		}
 	}
@@ -325,101 +648,208 @@ func (r *ShardedRunner) round(budget int) (int, bool) {
 		k.AdvanceTo(tend)
 		return 0, true
 	}
-	// Each shard gets an equal share of the remaining budget (at least
-	// one event), so a round overshoots the budget by at most the active
-	// shard count instead of a factor of it. The share is a pure function
-	// of round inputs — worker-independent like everything else.
-	share := (budget + len(active) - 1) / len(active)
-	if share < 1 {
-		share = 1
-	}
-	if r.workers <= 1 || len(active) == 1 {
-		for _, sh := range active {
-			sh.runWindow(tstart, tend, share)
-		}
-	} else {
-		nw := r.workers
-		if nw > len(active) {
-			nw = len(active)
-		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(nw)
-		for w := 0; w < nw; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(active) {
-						return
-					}
-					active[i].runWindow(tstart, tend, share)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-
-	// Serial merge, fixed shard order: commit sends (IDs, link sequence
-	// numbers, latency draws from the kernel RNG), restore any leftovers
-	// a budget-exhausted shard could not process, advance the clock, and
-	// account events.
-	total, crit := 0, 0
-	newNow := tstart
-	for _, sh := range active {
-		for _, ps := range sh.sends {
-			k.send(ps.from, ps.out, ps.at)
-		}
-		sh.sends = sh.sends[:0]
-		for _, m := range sh.due[sh.di:] {
-			// Budget ran out before delivery: the message goes back into
-			// transit untouched.
-			m.gone = false
-			k.byID[m.ID] = m
-			k.pushArrival(m)
-		}
-		sh.due = sh.due[:0]
-		sh.di = 0
-		for li, in := range sh.inbox {
-			if len(in) == 0 {
-				continue
-			}
-			// Budget ran out between delivery and the consuming step: the
-			// messages persist in the kernel income buffer.
-			pid := sh.ids[li]
-			if len(k.inbox[pid]) == 0 {
-				k.pendingInboxes++
-			}
-			k.inbox[pid] = append(k.inbox[pid], in...)
-			sh.inbox[li] = nil
-		}
-		sh.pending = 0
-		total += sh.events
-		if sh.events > crit {
-			crit = sh.events
-		}
-		if sh.t > newNow {
-			newNow = sh.t
-		}
-		sh.events = 0
-	}
-	k.AdvanceTo(newNow)
-	k.compactTransit()
-	// Load-mode event accounting, identical to what per-event record()
-	// calls would have done.
-	k.evSeq += int64(total)
-	k.trace.Dropped += int64(total)
-
-	r.stats.Rounds++
-	r.stats.Events += total
-	r.stats.CriticalEvents += crit
-	r.stats.ActiveShardRounds += len(active)
-	return total, true
+	r.runActive(active, budget)
+	return r.merge(active), true
 }
 
-// runWindow is the shard-local sub-simulation of one window: the Network
-// scheduler's policy over the shard's processes only, on a local clock.
-// It touches no global kernel state.
+// roundLookahead executes one per-link lookahead round:
+//
+//  1. Adopt pending inboxes and freshly committed sends (the kernel
+//     arrival heap drains into the destination shards' heaps — while the
+//     runner is live, it owns arrival indexing).
+//  2. Serial pre-scan: per shard, the earliest instant e_i it could act —
+//     the minimum over its pending inboxes (now), Ready processes (now),
+//     declared wake instants, and its earliest undelivered arrival.
+//  3. Promise fixpoint: shard i cannot send before
+//     P_i = min(e_i, min_{j≠i}(P_j + floor[j→i])) — its own next event,
+//     or the earliest instant another shard's message could trigger one.
+//     Because the floors are positive this is a shortest-path problem
+//     over the shard graph, solved exactly with one Dijkstra pass.
+//  4. Per-shard advancement bound: no future message can reach shard i
+//     with ReadyAt below bound_i = min_{j≠i}(P_j + floor[j→i]) — the
+//     null-message guarantee. Every shard executes its own window
+//     [clock_i, bound_i): deliveries strictly below the bound (in global
+//     (ReadyAt, ID) order, so per-shard delivery order matches the serial
+//     index), wake leaps strictly below the bound, Ready chains
+//     unbounded, exactly like a barrier window.
+//  5. The shared serial merge commits sends and advances the kernel.
+//
+// The globally earliest event always lies strictly below its shard's
+// bound (bounds exceed min e_i by at least one positive floor), so every
+// non-quiescent round makes progress and quiescence is detected exactly.
+// Unlike classic null-message rings there is no Δ-at-a-time creep toward
+// distant wakes: promises are next-EVENT times, not clocks, so an idle
+// gap is crossed in a single round.
+func (r *ShardedRunner) roundLookahead(budget int) (int, bool) {
+	k := r.k
+	if len(k.order) != r.nProcs {
+		panic("sim: process set changed under a ShardedRunner")
+	}
+	r.adoptPending()
+	for {
+		m := k.EarliestArrival()
+		if m == nil {
+			break
+		}
+		heap.Pop(&k.arrivals)
+		heap.Push(&r.shardOf[m.To].arr, m)
+	}
+
+	// Pre-scan: e_i = earliest instant shard i could act.
+	minE := infTime
+	for si, sh := range r.shards {
+		e := infTime
+		if sh.pending > 0 {
+			e = sh.t
+		}
+		top := sh.peekArr()
+		r.arrTop[si] = top
+		if top != nil {
+			at := top.ReadyAt
+			if sh.t > at {
+				at = sh.t
+			}
+			if at < e {
+				e = at
+			}
+		}
+		r.shardReady[si] = false
+		r.shardWake[si] = infTime
+		for _, p := range sh.procs {
+			if !p.Ready() {
+				continue
+			}
+			if w, ok := p.(Waker); ok {
+				wt, useful := w.WakeAt(sh.t)
+				if !useful {
+					continue // waiting on a delivery, not on time
+				}
+				if wt > sh.t {
+					if wt < r.shardWake[si] {
+						r.shardWake[si] = wt
+					}
+					continue
+				}
+			}
+			r.shardReady[si] = true
+		}
+		if r.shardReady[si] && sh.t < e {
+			e = sh.t
+		}
+		if r.shardWake[si] < e {
+			e = r.shardWake[si]
+		}
+		r.e[si] = e
+		if e < minE {
+			minE = e
+		}
+	}
+	if minE == infTime {
+		return 0, false // quiescent
+	}
+	if r.horizon > 0 && minE >= r.horizon {
+		return 0, false
+	}
+	r.computeBounds()
+
+	// Activity and blocked accounting, decided serially from round inputs.
+	barrierEdge := minE + r.delta
+	active := r.shards[:0:0]
+	for si, sh := range r.shards {
+		bound := r.bnd[si]
+		if r.horizon > 0 && bound > r.horizon {
+			bound = r.horizon
+		}
+		sh.bound = bound
+		top := r.arrTop[si]
+		if sh.pending > 0 || r.shardReady[si] ||
+			(top != nil && top.ReadyAt < bound) ||
+			r.shardWake[si] < bound {
+			active = append(active, sh)
+			if bound > barrierEdge {
+				r.stats.NullAdvances++
+			}
+		} else if r.e[si] < infTime {
+			gap := r.e[si] - bound
+			if gap < 0 {
+				gap = 0
+			}
+			r.stats.BlockedShardRounds++
+			r.stats.BlockedTime += gap
+			r.stats.PerShard[si].BlockedRounds++
+			r.stats.PerShard[si].BlockedTime += gap
+		}
+	}
+	if len(active) == 0 {
+		// Unreachable while minE is below the horizon (the globally
+		// earliest event is always admitted), kept as a defensive exit.
+		return 0, false
+	}
+	r.runActive(active, budget)
+	return r.merge(active), true
+}
+
+// computeBounds derives each shard's advancement bound from the next-event
+// times in r.e: first the promise fixpoint over the shard graph (one
+// Dijkstra pass — floors are positive, so settling in ascending promise
+// order is exact), then bound_i as the earliest promised influence on i.
+func (r *ShardedRunner) computeBounds() {
+	S := len(r.shards)
+	if S == 1 {
+		// A single shard can never be affected from outside.
+		r.bnd[0] = infTime
+		return
+	}
+	copy(r.prom, r.e)
+	for i := range r.settled {
+		r.settled[i] = false
+	}
+	for it := 0; it < S; it++ {
+		u, best := -1, infTime
+		for i, s := range r.settled {
+			if !s && r.prom[i] < best {
+				u, best = i, r.prom[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		r.settled[u] = true
+		for v := 0; v < S; v++ {
+			if v == u || r.settled[v] {
+				continue
+			}
+			if nb := best + r.floors[u][v]; nb < r.prom[v] {
+				r.prom[v] = nb
+			}
+		}
+	}
+	for i := 0; i < S; i++ {
+		b := infTime
+		for j := 0; j < S; j++ {
+			if j == i {
+				continue
+			}
+			if nb := r.prom[j] + r.floors[j][i]; nb < b {
+				b = nb
+			}
+		}
+		r.bnd[i] = b
+	}
+}
+
+// run executes this shard's window for the round under its engine.
+func (sh *shard) run(budget int) {
+	if sh.la {
+		sh.runWindowLA(budget)
+	} else {
+		sh.runWindow(sh.wstart, sh.wend, budget)
+	}
+}
+
+// runWindow is the shard-local sub-simulation of one barrier window: the
+// Network scheduler's policy over the shard's processes only, on a local
+// clock. It touches no global kernel state.
 func (sh *shard) runWindow(tstart, tend Time, budget int) {
 	sh.t = tstart
 	for sh.events < budget {
@@ -486,10 +916,110 @@ func (sh *shard) runWindow(tstart, tend Time, budget int) {
 	}
 }
 
-// deliver moves the next due message into its local income buffer.
+// runWindowLA is the lookahead counterpart of runWindow: the same local
+// policy, but over the shard's persistent clock, with deliveries popped
+// from the shard's own arrival heap and both deliveries and wake leaps
+// admitted strictly below the shard's advancement bound.
+func (sh *shard) runWindowLA(budget int) {
+	bound := sh.bound
+	for sh.events < budget {
+		// 1. Processes with pending input act first, in sorted ID order.
+		if sh.pending > 0 {
+			for li := range sh.procs {
+				if len(sh.inbox[li]) > 0 {
+					sh.step(li)
+					break
+				}
+			}
+			continue
+		}
+		// 2. Deliveries already due at the local instant.
+		if m := sh.peekArr(); m != nil && m.ReadyAt < bound && m.ReadyAt <= sh.t {
+			sh.deliverLA()
+			continue
+		}
+		// 3. Ready processes act now — except Wakers declaring a future
+		// wake instant (or none at all: those wait for a delivery).
+		acted := false
+		var wake Time
+		wakeLi := -1
+		for li, p := range sh.procs {
+			if !p.Ready() {
+				continue
+			}
+			if w, ok := p.(Waker); ok {
+				wt, useful := w.WakeAt(sh.t)
+				if !useful {
+					continue
+				}
+				if wt > sh.t {
+					if wakeLi < 0 || wt < wake {
+						wake, wakeLi = wt, li
+					}
+					continue
+				}
+			}
+			sh.step(li)
+			acted = true
+			break
+		}
+		if acted {
+			continue
+		}
+		// 4. Nobody can act at this instant: advance the local clock to
+		// the next useful one below the bound. Arrivals win ties so the
+		// woken process sees every message due by its wake instant.
+		if m := sh.peekArr(); m != nil && m.ReadyAt < bound && (wakeLi < 0 || m.ReadyAt <= wake) {
+			sh.deliverLA()
+			continue
+		}
+		if wakeLi >= 0 && wake < bound {
+			// The step itself costs StepCost, so the process runs at
+			// exactly its wake instant.
+			if wake-StepCost > sh.t {
+				sh.t = wake - StepCost
+			}
+			sh.step(wakeLi)
+			continue
+		}
+		return // nothing more admissible under this round's bound
+	}
+}
+
+// peekArr returns the shard's earliest undelivered arrival, discarding
+// stale (dropped) heap tops on the way, or nil.
+func (sh *shard) peekArr() *Message {
+	for sh.arr.Len() > 0 {
+		m := sh.arr[0]
+		if m.gone {
+			heap.Pop(&sh.arr)
+			continue
+		}
+		return m
+	}
+	return nil
+}
+
+// deliver moves the next due message into its local income buffer
+// (barrier engine).
 func (sh *shard) deliver() {
 	m := sh.due[sh.di]
 	sh.di++
+	sh.admit(m)
+}
+
+// deliverLA pops the shard heap's top — the caller has checked it against
+// the bound — and admits it. The message is marked gone here (shard-owned
+// while the round runs); its global index entry is removed at the merge.
+func (sh *shard) deliverLA() {
+	m := heap.Pop(&sh.arr).(*Message)
+	m.gone = true
+	sh.delivered = append(sh.delivered, m)
+	sh.admit(m)
+}
+
+// admit finishes a delivery: clock, timestamp, income buffer, accounting.
+func (sh *shard) admit(m *Message) {
 	if m.ReadyAt > sh.t {
 		sh.t = m.ReadyAt
 	}
@@ -500,6 +1030,7 @@ func (sh *shard) deliver() {
 	}
 	sh.inbox[li] = append(sh.inbox[li], m)
 	sh.events++
+	sh.evBy[li]++
 }
 
 // step executes one computation step of the local process li, buffering
@@ -515,4 +1046,8 @@ func (sh *shard) step(li int) {
 		sh.sends = append(sh.sends, shardSend{from: sh.ids[li], out: o, at: sh.t})
 	}
 	sh.events++
+	sh.evBy[li]++
+	if sh.refill != nil {
+		sh.refill(sh.ids[li], sh.t)
+	}
 }
