@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/protocol"
 )
 
 // curveRow is one grid cell of the -curve output: an open-loop run of one
@@ -17,6 +18,8 @@ type curveRow struct {
 	ZipfS        float64 `json:"zipf_s"`
 	Servers      int     `json:"servers"`
 	Replication  int     `json:"replication"`
+	Topology     string  `json:"topology,omitempty"`
+	Sites        int     `json:"sites,omitempty"`
 	Clients      int     `json:"clients"`
 	Txns         int     `json:"txns"`
 	Arrivals     string  `json:"arrivals"`
@@ -62,6 +65,7 @@ type curveConfig struct {
 	txns        int
 	servers     []int
 	replication []int
+	topologies  []string
 	objects     int
 	seed        int64
 	uniform     bool // deterministic-rate arrivals instead of Poisson
@@ -76,6 +80,9 @@ type curveConfig struct {
 // deterministic for a fixed config (worker count excluded: it only
 // parallelizes the stepping).
 func buildCurve(cfg curveConfig) ([]curveRow, error) {
+	if len(cfg.topologies) == 0 {
+		cfg.topologies = []string{"uniform"} // the pre-topology default
+	}
 	arrivals := "poisson"
 	if cfg.uniform {
 		arrivals = "uniform"
@@ -91,57 +98,70 @@ func buildCurve(cfg curveConfig) ([]curveRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, srv := range cfg.servers {
-				for _, repl := range cfg.replication {
-					if repl > srv {
-						continue // replication factor cannot exceed servers
-					}
-					curve, err := core.MeasureLoadCurve(p, mix, cfg.seed, core.CurveOptions{
-						Servers: srv, ObjectsPerServer: cfg.objects,
-						Replication: repl,
-						Clients:     cfg.clients, Txns: cfg.txns,
-						Fractions: cfg.fractions, Deterministic: cfg.uniform,
-						Certify: cfg.certify,
-						Workers: cfg.workers, Barrier: cfg.barrier, Rebalance: cfg.rebalance,
-					})
-					if err != nil {
-						return nil, err
-					}
-					for _, pt := range curve.Points {
-						rows = append(rows, curveRow{
-							Protocol:     curve.Protocol,
-							MixName:      strings.TrimSpace(mixName),
-							ReadFraction: mix.ReadFraction,
-							ZipfS:        mix.ZipfS,
-							Servers:      srv,
-							Replication:  repl,
-							Clients:      cfg.clients,
-							Txns:         cfg.txns,
-							Arrivals:     arrivals,
-							Saturated:    curve.Saturated,
-							Fraction:     pt.Fraction,
-							Offered:      pt.Offered,
-							Achieved:     pt.Achieved,
-							Knee:         curve.Knee,
-							Committed:    pt.Committed,
-							Rejected:     pt.Rejected,
-							Incomplete:   pt.Incomplete,
-							Events:       pt.Events,
-							DurationUs:   int64(pt.Duration),
-							LatencyP50:   pt.Latency.P50,
-							LatencyP90:   pt.Latency.P90,
-							LatencyP99:   pt.Latency.P99,
-							LatencyMean:  pt.Latency.Mean,
-							QueueP50:     pt.QueueDelay.P50,
-							QueueP99:     pt.QueueDelay.P99,
-							QueueMean:    pt.QueueDelay.Mean,
-							ServiceP50:   pt.Service.P50,
-							ServiceP99:   pt.Service.P99,
-							InFlightMax:  pt.InFlight.Max,
+			for _, topoName := range cfg.topologies {
+				topo, err := protocol.TopologyByName(strings.TrimSpace(topoName))
+				if err != nil {
+					return nil, err
+				}
+				topoCol, sitesCol := "", 0
+				if topo != nil {
+					topoCol, sitesCol = topo.Name, topo.Sites
+				}
+				for _, srv := range cfg.servers {
+					for _, repl := range cfg.replication {
+						if repl > srv {
+							continue // replication factor cannot exceed servers
+						}
+						curve, err := core.MeasureLoadCurve(p, mix, cfg.seed, core.CurveOptions{
+							Servers: srv, ObjectsPerServer: cfg.objects,
+							Replication: repl,
+							Clients:     cfg.clients, Txns: cfg.txns,
+							Fractions: cfg.fractions, Deterministic: cfg.uniform,
+							Topology: topo,
+							Certify:  cfg.certify,
+							Workers:  cfg.workers, Barrier: cfg.barrier, Rebalance: cfg.rebalance,
 						})
-						shardCells(&rows[len(rows)-1].shardCols, pt.Sharding)
-						if cfg.certify {
-							certCells(&rows[len(rows)-1].certCols, pt.Cert)
+						if err != nil {
+							return nil, err
+						}
+						for _, pt := range curve.Points {
+							rows = append(rows, curveRow{
+								Protocol:     curve.Protocol,
+								MixName:      strings.TrimSpace(mixName),
+								ReadFraction: mix.ReadFraction,
+								ZipfS:        mix.ZipfS,
+								Servers:      srv,
+								Replication:  repl,
+								Topology:     topoCol,
+								Sites:        sitesCol,
+								Clients:      cfg.clients,
+								Txns:         cfg.txns,
+								Arrivals:     arrivals,
+								Saturated:    curve.Saturated,
+								Fraction:     pt.Fraction,
+								Offered:      pt.Offered,
+								Achieved:     pt.Achieved,
+								Knee:         curve.Knee,
+								Committed:    pt.Committed,
+								Rejected:     pt.Rejected,
+								Incomplete:   pt.Incomplete,
+								Events:       pt.Events,
+								DurationUs:   int64(pt.Duration),
+								LatencyP50:   pt.Latency.P50,
+								LatencyP90:   pt.Latency.P90,
+								LatencyP99:   pt.Latency.P99,
+								LatencyMean:  pt.Latency.Mean,
+								QueueP50:     pt.QueueDelay.P50,
+								QueueP99:     pt.QueueDelay.P99,
+								QueueMean:    pt.QueueDelay.Mean,
+								ServiceP50:   pt.Service.P50,
+								ServiceP99:   pt.Service.P99,
+								InFlightMax:  pt.InFlight.Max,
+							})
+							shardCells(&rows[len(rows)-1].shardCols, pt.Sharding)
+							if cfg.certify {
+								certCells(&rows[len(rows)-1].certCols, pt.Cert)
+							}
 						}
 					}
 				}

@@ -66,6 +66,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/history"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -82,6 +83,8 @@ type row struct {
 	ZipfS        float64 `json:"zipf_s"`
 	Servers      int     `json:"servers"`
 	Replication  int     `json:"replication"`
+	Topology     string  `json:"topology,omitempty"`
+	Sites        int     `json:"sites,omitempty"`
 	Clients      int     `json:"clients"`
 	Pipeline     int     `json:"pipeline"`
 	Txns         int     `json:"txns"`
@@ -211,6 +214,7 @@ type gridConfig struct {
 	clients     []int
 	servers     []int
 	replication []int
+	topologies  []string
 	txns        int
 	pipeline    int
 	objects     int
@@ -225,6 +229,9 @@ type gridConfig struct {
 // client-count cell closed-loop. Fully deterministic for a fixed config
 // (worker count excluded: it only parallelizes the stepping).
 func buildGrid(cfg gridConfig) ([]row, error) {
+	if len(cfg.topologies) == 0 {
+		cfg.topologies = []string{"uniform"} // the pre-topology default
+	}
 	rows := []row{}
 	for _, name := range cfg.protocols {
 		p := core.ByName(strings.TrimSpace(name))
@@ -237,56 +244,68 @@ func buildGrid(cfg gridConfig) ([]row, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, srv := range cfg.servers {
-				for _, repl := range cfg.replication {
-					if repl > srv {
-						continue // replication factor cannot exceed servers
-					}
-					for _, c := range cfg.clients {
-						rep, err := core.MeasureThroughputWith(p, mix, c, cfg.txns, cfg.seed, core.ThroughputOptions{
-							Servers:          srv,
-							ObjectsPerServer: cfg.objects,
-							Replication:      repl,
-							Pipeline:         cfg.pipeline,
-							Certify:          cfg.certify,
-							Workers:          cfg.workers,
-							Barrier:          cfg.barrier,
-							Rebalance:        cfg.rebalance,
-						})
-						if err != nil {
-							return nil, err
+			for _, topoName := range cfg.topologies {
+				topoName = strings.TrimSpace(topoName)
+				topo, err := protocol.TopologyByName(topoName)
+				if err != nil {
+					return nil, err
+				}
+				for _, srv := range cfg.servers {
+					for _, repl := range cfg.replication {
+						if repl > srv {
+							continue // replication factor cannot exceed servers
 						}
-						r := row{
-							Protocol:     rep.Protocol,
-							MixName:      mixName,
-							ReadFraction: mix.ReadFraction,
-							ZipfS:        mix.ZipfS,
-							Servers:      srv,
-							Replication:  repl,
-							Clients:      rep.Clients,
-							Pipeline:     rep.Pipeline,
-							Txns:         cfg.txns,
-							Committed:    rep.Committed,
-							Rejected:     rep.Rejected,
-							Incomplete:   rep.Incomplete,
-							Events:       rep.Events,
-							DurationUs:   int64(rep.Duration),
-							Throughput:   rep.Throughput,
-							LatencyP50:   rep.Latency.P50,
-							LatencyP90:   rep.Latency.P90,
-							LatencyP99:   rep.Latency.P99,
-							LatencyMean:  rep.Latency.Mean,
-							ROTP50:       rep.ROT.P50,
-							ROTP99:       rep.ROT.P99,
-							ROTRounds:    rep.ROTRounds,
-							WriteP50:     rep.Write.P50,
-							WriteP99:     rep.Write.P99,
+						for _, c := range cfg.clients {
+							rep, err := core.MeasureThroughputWith(p, mix, c, cfg.txns, cfg.seed, core.ThroughputOptions{
+								Servers:          srv,
+								ObjectsPerServer: cfg.objects,
+								Replication:      repl,
+								Pipeline:         cfg.pipeline,
+								Topology:         topo,
+								Certify:          cfg.certify,
+								Workers:          cfg.workers,
+								Barrier:          cfg.barrier,
+								Rebalance:        cfg.rebalance,
+							})
+							if err != nil {
+								return nil, err
+							}
+							r := row{
+								Protocol:     rep.Protocol,
+								MixName:      mixName,
+								ReadFraction: mix.ReadFraction,
+								ZipfS:        mix.ZipfS,
+								Servers:      srv,
+								Replication:  repl,
+								Clients:      rep.Clients,
+								Pipeline:     rep.Pipeline,
+								Txns:         cfg.txns,
+								Committed:    rep.Committed,
+								Rejected:     rep.Rejected,
+								Incomplete:   rep.Incomplete,
+								Events:       rep.Events,
+								DurationUs:   int64(rep.Duration),
+								Throughput:   rep.Throughput,
+								LatencyP50:   rep.Latency.P50,
+								LatencyP90:   rep.Latency.P90,
+								LatencyP99:   rep.Latency.P99,
+								LatencyMean:  rep.Latency.Mean,
+								ROTP50:       rep.ROT.P50,
+								ROTP99:       rep.ROT.P99,
+								ROTRounds:    rep.ROTRounds,
+								WriteP50:     rep.Write.P50,
+								WriteP99:     rep.Write.P99,
+							}
+							if topo != nil {
+								r.Topology = topo.Name
+								r.Sites = topo.Sites
+							}
+							shardCells(&r.shardCols, rep.Sharding)
+							if cfg.certify {
+								certCells(&r.certCols, rep.Cert)
+							}
+							rows = append(rows, r)
 						}
-						shardCells(&r.shardCols, rep.Sharding)
-						if cfg.certify {
-							certCells(&r.certCols, rep.Cert)
-						}
-						rows = append(rows, r)
 					}
 				}
 			}
@@ -306,6 +325,11 @@ func main() {
 		"comma-separated server counts: the default grid charts the multi-server cells")
 	replication := flag.String("replication", "1",
 		"comma-separated replication factors (>1 deploys the partially replicated placement; factors exceeding the cell's server count are skipped)")
+	topology := flag.String("topology", "uniform",
+		"comma-separated deployment topologies (uniform, 2site, 3site): multi-site "+
+			"cells draw intra-site latencies from [100,300]us and cross-site from "+
+			"[2000,4000]us with matching per-link floors, the regime where per-link "+
+			"lookahead separates from the barrier engine")
 	objects := flag.Int("objects", 2, "objects per server")
 	seed := flag.Int64("seed", 42, "deterministic run seed")
 	workers := flag.Int("workers", 1,
@@ -368,7 +392,8 @@ func main() {
 			protocols: names, mixes: mixNames, fractions: fracs,
 			clients: *curveClients, txns: *txns,
 			servers: serverCounts, replication: replFactors,
-			objects: *objects, seed: *seed,
+			topologies: strings.Split(*topology, ","),
+			objects:    *objects, seed: *seed,
 			uniform: *arrivals == "uniform", certify: *certify,
 			workers: *workers, barrier: *barrier, rebalance: *rebalance,
 		})
@@ -385,7 +410,8 @@ func main() {
 			protocols: names, mixes: mixNames, clients: counts,
 			txns: *txns, pipeline: *pipeline,
 			servers: serverCounts, replication: replFactors,
-			objects: *objects, seed: *seed,
+			topologies: strings.Split(*topology, ","),
+			objects:    *objects, seed: *seed,
 			certify: *certify, workers: *workers,
 			barrier: *barrier, rebalance: *rebalance,
 		})

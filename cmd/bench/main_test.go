@@ -281,3 +281,63 @@ func TestCurveGridShape(t *testing.T) {
 		t.Fatalf("knee differs within one curve: %f vs %f", rows[0].Knee, rows[1].Knee)
 	}
 }
+
+// TestGridTopology is the bench-level tentpole pin: a -topology
+// uniform,2site sweep emits one row per topology per cell, the 2site
+// rows carry the topology/sites columns (uniform rows omit them, so
+// pre-topology grids stay byte-diffable), and on the 2site cell the
+// lookahead engine's rounds beat the barrier engine's — the per-link
+// cross-site floors reaching sim's shard-pair bounds. Deterministic
+// across repeats.
+func TestGridTopology(t *testing.T) {
+	base := gridConfig{
+		protocols: []string{"cops"},
+		mixes:     []string{"readheavy"},
+		clients:   []int{8},
+		txns:      120, pipeline: 1,
+		servers: []int{4}, replication: []int{1},
+		topologies: []string{"uniform", "2site"},
+		objects:    2, seed: 42, workers: 1,
+	}
+	grid := func(cfg gridConfig) []row {
+		rows, err := buildGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("rows = %d, want uniform + 2site", len(rows))
+		}
+		return rows
+	}
+	la := grid(base)
+	if la[0].Topology != "" || la[0].Sites != 0 {
+		t.Fatalf("uniform row carries topology columns: %+v", la[0])
+	}
+	if la[1].Topology != "2site" || la[1].Sites != 2 {
+		t.Fatalf("2site row mislabeled: %+v", la[1])
+	}
+	bcfg := base
+	bcfg.barrier = true
+	ba := grid(bcfg)
+	for i := range la {
+		if la[i].Committed != ba[i].Committed {
+			t.Fatalf("engines disagree on committed: %d vs %d", la[i].Committed, ba[i].Committed)
+		}
+	}
+	if la[1].Rounds >= ba[1].Rounds {
+		t.Fatalf("2site lookahead rounds %d did not beat barrier rounds %d",
+			la[1].Rounds, ba[1].Rounds)
+	}
+	if ba[1].BlockedTimeUs != 0 {
+		t.Fatalf("barrier cell reports blocked time %d", ba[1].BlockedTimeUs)
+	}
+	requireIdentical(t, "topology grid JSON", encode(t, la), encode(t, grid(base)))
+	if _, err := buildGrid(gridConfig{
+		protocols: []string{"cops"}, mixes: []string{"readheavy"},
+		clients: []int{2}, txns: 10, pipeline: 1,
+		servers: []int{2}, replication: []int{1},
+		topologies: []string{"moonbase"}, objects: 1, seed: 1, workers: 1,
+	}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

@@ -82,6 +82,9 @@ type CurveOptions struct {
 	// Deterministic selects fixed-interval arrivals instead of Poisson.
 	Deterministic bool
 	Latency       sim.LatencyModel
+	// Topology selects a geo-asymmetric deployment for every run of the
+	// sweep (driver.Config semantics). Nil is the uniform deployment.
+	Topology *protocol.Topology
 	// Certify certifies every curve point ride-along at the protocol's
 	// claimed consistency level (see ThroughputOptions.Certify). Requires
 	// Txns at or below the checker ceiling history.MaxTxns.
@@ -125,6 +128,7 @@ func MeasureLoadCurve(p protocol.Protocol, mix workload.Mix, seed int64, opt Cur
 		Servers: opt.Servers, ObjectsPerServer: opt.ObjectsPerServer,
 		Replication: opt.Replication,
 		Latency:     opt.Latency,
+		Topology:    opt.Topology,
 		Workers:     opt.Workers,
 		Barrier:     opt.Barrier,
 		Rebalance:   opt.Rebalance,

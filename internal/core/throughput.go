@@ -59,6 +59,11 @@ type ThroughputOptions struct {
 	Replication int
 	Pipeline    int
 	Latency     sim.LatencyModel
+	// Topology selects a geo-asymmetric deployment (driver.Config
+	// semantics: sites, intra-/cross-site latency distributions with
+	// declared per-link floors, site-aware shard striping). Nil is the
+	// uniform deployment.
+	Topology *protocol.Topology
 	// Certify certifies the run ride-along at the protocol's claimed
 	// consistency level: committed transactions feed an incremental
 	// history.Session during the run (so full grid cells certify without
@@ -110,6 +115,7 @@ func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns 
 		ObjectsPerServer: opt.ObjectsPerServer,
 		Replication:      opt.Replication,
 		Latency:          opt.Latency,
+		Topology:         opt.Topology,
 		RecordHistory:    opt.Certify,
 		Certify:          opt.Certify,
 		Workers:          opt.Workers,

@@ -91,6 +91,13 @@ type Config struct {
 	ObjectsPerServer int
 	Replication      int
 	Latency          sim.LatencyModel
+	// Topology selects a geo-asymmetric deployment (protocol.Config
+	// semantics: sites, intra- vs cross-site latency distributions with
+	// declared per-link floors; ignored when Latency is set). Under
+	// sharded stepping the client striping becomes site-aware — every
+	// shard stays single-site, so cross-site shard pairs keep the wide
+	// cross-site lookahead bound. Nil is the uniform deployment.
+	Topology *protocol.Topology
 	// MaxEvents bounds kernel events for the whole run (default
 	// 20_000·Txns + 200_000 — generous because blocking protocols such as
 	// spanner advance their safe time by spinning 1µs steps while a read
@@ -288,6 +295,7 @@ func deploy(p protocol.Protocol, cfg Config) (*protocol.Deployment, error) {
 		Seed:             cfg.Seed,
 		Latency:          cfg.Latency,
 		LatencyFloor:     cfg.LatencyFloor,
+		Topology:         cfg.Topology,
 	})
 	if !cfg.KeepTrace {
 		d.Kernel.SetTraceCap(-1)
@@ -417,9 +425,13 @@ func (e *shardedEngine) setHorizon(t sim.Time) { e.r.SetHorizon(t) }
 // shard per server (the shard of partition k owns server k), with the
 // client-side processes (workload clients, readers, initializers)
 // striped across the shards in sorted process order — unless a measured
-// plan from the rebalance probe overrides the stripe. Either way the
-// assignment is a pure function of deterministic inputs, so the sharded
-// schedule is too.
+// plan from the rebalance probe overrides the stripe. On a multi-site
+// topology the stripe is site-aware: each client-side process is placed
+// round-robin among the shards of its OWN site, so every shard stays
+// single-site and the lookahead engine's cross-site shard-pair bounds
+// keep the wide cross-site floor instead of collapsing to the intra-site
+// minimum. Either way the assignment is a pure function of
+// deterministic inputs, so the sharded schedule is too.
 func shardAssignment(d *protocol.Deployment, plan map[sim.ProcessID]int) (func(sim.ProcessID) int, int, error) {
 	n := d.Place.NumServers()
 	if plan != nil {
@@ -434,13 +446,37 @@ func shardAssignment(d *protocol.Deployment, plan map[sim.ProcessID]int) (func(s
 	for _, sid := range d.Place.Servers() {
 		assign[sid] = d.Place.ServerIndex(sid)
 	}
+	// Shards of each site, in server order; nil when the deployment is
+	// uniform or some site has no server (then the plain stripe below
+	// is the only sound choice).
+	var bySite [][]int
+	if t := d.Topo; t != nil && t.Sites > 1 {
+		bySite = make([][]int, t.Sites)
+		for _, sid := range d.Place.Servers() {
+			s := t.SiteOf(sid)
+			bySite[s] = append(bySite[s], d.Place.ServerIndex(sid))
+		}
+		for _, shards := range bySite {
+			if len(shards) == 0 {
+				bySite = nil
+				break
+			}
+		}
+	}
 	i := 0
+	next := make([]int, len(bySite)) // per-site round-robin cursor
 	for _, pid := range d.Kernel.Processes() {
 		if _, isServer := assign[pid]; isServer {
 			continue
 		}
-		assign[pid] = i % n
-		i++
+		if bySite == nil {
+			assign[pid] = i % n
+			i++
+			continue
+		}
+		s := d.Topo.SiteOf(pid)
+		assign[pid] = bySite[s][next[s]%len(bySite[s])]
+		next[s]++
 	}
 	return func(pid sim.ProcessID) int { return assign[pid] }, n, nil
 }

@@ -1,0 +1,91 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/protocols/cops"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestTopologyStripingKeepsShardsSingleSite: under a declared 2-site
+// topology every shard must stay single-site — the lookahead engine's
+// shard-pair bounds are the minimum link floor across the pair, so one
+// stray cross-site client would collapse a cross-site shard pair's
+// bound from CrossLo back to IntraLo and erase the separation.
+func TestTopologyStripingKeepsShardsSingleSite(t *testing.T) {
+	topo, err := protocol.TopologyByName("2site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cops.New(), Config{
+		Clients: 9, Txns: 60, Mix: workload.ReadHeavy(), Seed: 3,
+		Servers: 4, Workers: 1, Topology: topo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Sharding
+	if st == nil || st.Shards != 4 {
+		t.Fatalf("sharding stats = %+v, want 4 shards", st)
+	}
+	// Servers anchor their shards; derive each shard's site from them.
+	shardSite := map[int]int{}
+	for pid, shard := range st.Partition {
+		if pid[0] != 's' {
+			continue
+		}
+		shardSite[shard] = topo.SiteOf(sim.ProcessID(pid))
+	}
+	if len(shardSite) != 4 {
+		t.Fatalf("server shards = %d, want one per server", len(shardSite))
+	}
+	for pid, shard := range st.Partition {
+		if got, want := topo.SiteOf(sim.ProcessID(pid)), shardSite[shard]; got != want {
+			t.Fatalf("%s (site %d) landed on shard %d (site %d)", pid, got, shard, want)
+		}
+	}
+}
+
+// TestTopologyLookaheadBeatsBarrier is the tentpole's payoff, pinned at
+// the driver level: on a 2-site cell — intra-site floors 20× tighter
+// than cross-site — the per-link lookahead engine executes the same
+// schedule in strictly fewer rounds than the barrier engine, which
+// stays pinned to the global (intra-site) floor. Both runs must commit
+// the same transactions: the engines trade rounds, never outcomes.
+func TestTopologyLookaheadBeatsBarrier(t *testing.T) {
+	topo, err := protocol.TopologyByName("2site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Clients: 8, Txns: 120, Mix: workload.ReadHeavy(), Seed: 42,
+		Servers: 4, Workers: 1, Topology: topo,
+	}
+	la, err := Run(cops.New(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := base
+	bcfg.Barrier = true
+	ba, err := Run(cops.New(), bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !la.Sharding.Lookahead || ba.Sharding.Lookahead {
+		t.Fatal("engine selection wrong")
+	}
+	if la.Committed != base.Txns || ba.Committed != base.Txns {
+		t.Fatalf("committed %d (lookahead) vs %d (barrier), want %d both",
+			la.Committed, ba.Committed, base.Txns)
+	}
+	if la.Sharding.Rounds >= ba.Sharding.Rounds {
+		t.Fatalf("lookahead rounds %d did not beat barrier rounds %d on the "+
+			"2-site cell — the per-link floors are not reaching the engine",
+			la.Sharding.Rounds, ba.Sharding.Rounds)
+	}
+	if la.Sharding.NullAdvances == 0 {
+		t.Fatal("no null-message advances on a 2-site cell")
+	}
+}

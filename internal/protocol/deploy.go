@@ -32,6 +32,11 @@ type Config struct {
 	// floor (500µs) is declared automatically.
 	Latency      sim.LatencyModel
 	LatencyFloor sim.Time
+	// Topology selects a geo-asymmetric deployment: sites, intra- vs
+	// cross-site latency distributions and their declared per-link
+	// floors (see Topology). Ignored when Latency is set — an explicit
+	// model plus its LatencyFloor wins. Nil is the uniform deployment.
+	Topology *Topology
 }
 
 // Deployment is a protocol instantiated on a kernel: servers, workload
@@ -44,6 +49,10 @@ type Deployment struct {
 	Clients []sim.ProcessID
 	Readers []sim.ProcessID
 	Inits   []sim.ProcessID // cin0, cin1, ... one per object
+	// Topo is the deployed topology (nil for the uniform deployment).
+	// The driver's shard striping consults it so each shard stays
+	// single-site and cross-site links retain their wider lookahead.
+	Topo *Topology
 }
 
 // Deploy builds a deployment.
@@ -68,15 +77,25 @@ func Deploy(p Protocol, cfg Config) *Deployment {
 			pl = Disjoint(cfg.Servers, cfg.ObjectsPerServer)
 		}
 	}
-	k := sim.NewKernel(cfg.Seed, cfg.Latency)
-	if cfg.Latency == nil {
+	topo := cfg.Topology
+	lat := cfg.Latency
+	if lat != nil {
+		topo = nil // an explicit model wins over a topology
+	} else if topo != nil {
+		lat = topo.Latency()
+	}
+	k := sim.NewKernel(cfg.Seed, lat)
+	switch {
+	case topo != nil:
+		// Floors are declared below, after the process set is complete.
+	case cfg.Latency == nil:
 		// The default model is uniform [500µs, 1500µs]; declare its floor
 		// so sharded stepping gets full-width windows.
 		k.SetLatencyFloor(500)
-	} else {
+	default:
 		k.SetLatencyFloor(cfg.LatencyFloor)
 	}
-	d := &Deployment{Kernel: k, Proto: p, Place: pl}
+	d := &Deployment{Kernel: k, Proto: p, Place: pl, Topo: topo}
 	for _, sid := range pl.Servers() {
 		k.Add(p.NewServer(sid, pl))
 	}
@@ -94,6 +113,9 @@ func Deploy(p Protocol, cfg Config) *Deployment {
 		id := sim.ProcessID(fmt.Sprintf("cin%d", i))
 		k.Add(p.NewClient(id, pl))
 		d.Inits = append(d.Inits, id)
+	}
+	if topo != nil {
+		topo.DeclareFloors(k)
 	}
 	return d
 }

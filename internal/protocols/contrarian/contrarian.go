@@ -277,9 +277,12 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 			c.phase = snapshotting
 			c.haveSnap = false
 			c.readVals = make(map[string]readVal)
-			for srv := range c.readTargets() {
-				out = append(out, sim.Outbound{To: srv, Payload: &snapReq{TID: t.ID}})
-				c.pending++
+			targets := c.readTargets()
+			for _, srv := range c.Placement().Servers() {
+				if _, involved := targets[srv]; involved {
+					out = append(out, sim.Outbound{To: srv, Payload: &snapReq{TID: t.ID}})
+					c.pending++
+				}
 			}
 			c.SentRound()
 		} else {
@@ -302,7 +305,12 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 				c.snap = c.depTS
 			}
 			c.phase = reading
-			for srv, objs := range c.readTargets() {
+			targets := c.readTargets()
+			for _, srv := range c.Placement().Servers() {
+				objs, involved := targets[srv]
+				if !involved {
+					continue
+				}
 				out = append(out, sim.Outbound{To: srv, Payload: &readReq{TID: t.ID, Objs: objs, Snap: c.snap}})
 				c.pending++
 			}

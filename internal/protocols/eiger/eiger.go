@@ -2,11 +2,13 @@
 // consistent multi-object write transactions via two-phase commit with
 // commit-invisible pending versions (2PC-CI), plus non-blocking read-only
 // transactions that take up to three rounds: round 1 fetches the latest
-// visible values and pending markers; if some fetched value could be
-// superseded by a transaction that is pending at another involved server,
-// the client re-requests the affected objects at the computed effective
-// time, retrying (bounded) until the pending commit lands. Logical Lamport
-// timestamps order commits.
+// visible values, pending markers and each server's clock; the client
+// computes the effective time (the newest fetched commit timestamp) and,
+// unless every server certified its answer at that time, re-requests the
+// snapshot AT the effective time — servers observe it into their clocks
+// and serve the read-at-time definitively once nothing prepared at or
+// below it is still pending (the client re-polls, bounded, until the
+// pending commit lands). Logical Lamport timestamps order commits.
 package eiger
 
 import (
@@ -27,6 +29,23 @@ import (
 // (guaranteed in every legal execution, where all messages are delivered).
 // The bound is a safety valve against pathological schedules.
 const MaxReadRounds = 64
+
+// tieBreak derives a deterministic per-transaction logical component
+// (FNV-1a of the transaction ID) for the commit stamp. Two transactions
+// can commit at the same Lamport wall time — ticked by different servers
+// — and the store's stamp-tie fallback is per-server install order, which
+// is NOT uniform across servers: a reader could then see the tie resolve
+// differently at each primary and observe half of each transaction. Real
+// Eiger orders commits by (timestamp, coordinator id); the logical field
+// plays that role here.
+func tieBreak(tid model.TxnID) int64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(tid.String()) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int64(h & (1<<62 - 1))
+}
 
 // Protocol is the eiger factory.
 type Protocol struct{}
@@ -82,6 +101,13 @@ type readVal struct {
 	// object's server (0 = none): a value with TS < effective time while
 	// PendingBelow ≤ effective time may be superseded.
 	PendingBelow int64
+	// SafeT is the server's Lamport clock when it answered. Any write
+	// transaction that prepares at the server after this response will
+	// commit with a timestamp strictly above SafeT (its prepare ack ticks
+	// past the clock and the commit timestamp is the max over acks), so a
+	// value accompanied by SafeT ≥ eff and no pending prepare at or below
+	// eff is provably the value at effective time eff.
+	SafeT int64
 }
 
 type readResp struct {
@@ -189,17 +215,36 @@ func (s *server) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 	for _, m := range inbox {
 		switch p := m.Payload.(type) {
 		case *readReq:
+			// Second-round read-at-time: the client requests the snapshot at
+			// its computed effective time. Observing At pushes the clock past
+			// it, so after this response every future prepare at this server
+			// acks above At — the answer is definitive unless an already-
+			// pending prepare at or below At could still commit under it
+			// (reported via PendingBelow; the client re-polls until it
+			// lands).
+			at := int64(1 << 62)
+			if p.At > 0 {
+				s.clock.Observe(p.At)
+				at = p.At
+			}
 			resp := &readResp{TID: p.TID}
 			for _, obj := range p.Objs {
-				v := s.st.SnapshotRead(obj, vclock.HLCStamp{Wall: 1 << 62})
+				// Logical ceiling: a read at eff includes every commit whose
+				// wall time is exactly eff, whatever its tie-break.
+				v := s.st.SnapshotRead(obj, vclock.HLCStamp{Wall: at, Logical: 1 << 62})
 				if v == nil {
-					resp.Vals = append(resp.Vals, readVal{Ref: model.ValueRef{Object: obj, Value: model.Bottom}})
+					resp.Vals = append(resp.Vals, readVal{
+						Ref:          model.ValueRef{Object: obj, Value: model.Bottom},
+						PendingBelow: s.minPending(),
+						SafeT:        s.clock.T,
+					})
 					continue
 				}
 				resp.Vals = append(resp.Vals, readVal{
 					Ref:          model.ValueRef{Object: obj, Value: v.Value, Writer: v.Writer},
 					TS:           v.Stamp.Wall,
 					PendingBelow: s.minPending(),
+					SafeT:        s.clock.T,
 				})
 			}
 			out = append(out, sim.Outbound{To: m.From, Payload: resp})
@@ -217,7 +262,7 @@ func (s *server) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 			delete(s.pending, p.TID)
 			for _, obj := range s.st.Objects() {
 				if v := s.st.Find(obj, p.TID); v != nil {
-					v.Stamp = vclock.HLCStamp{Wall: p.TS}
+					v.Stamp = vclock.HLCStamp{Wall: p.TS, Logical: tieBreak(p.TID)}
 					v.Visible = true
 				}
 			}
@@ -288,22 +333,36 @@ func (c *client) sendReads(at int64) []sim.Outbound {
 	return out
 }
 
-// unstable reports whether a fetched snapshot may be superseded by a
-// pending transaction: some server reported a pending prepare at or below
-// the effective time while its returned value is older.
-func (c *client) unstable() bool {
+// effTime is the transaction's effective time: the newest commit
+// timestamp among the fetched values (Eiger's "effective time" of the
+// read-only transaction).
+func (c *client) effTime() int64 {
 	eff := int64(0)
 	for _, v := range c.got {
 		if v.TS > eff {
 			eff = v.TS
 		}
 	}
+	return eff
+}
+
+// settled reports whether every fetched value is provably the value at
+// the effective time: the answering server's clock had passed eff (so no
+// later-prepared transaction can commit at or below it) and no prepare
+// pending at or below eff could still commit underneath. Both checks are
+// required even when a value's own timestamp equals eff — two concurrent
+// transactions can tie at eff, and the tie loser may still be pending at
+// one server while the winner is visible at another.
+func (c *client) settled(eff int64) bool {
 	for _, v := range c.got {
-		if v.PendingBelow > 0 && v.PendingBelow <= eff && v.TS < eff {
-			return true
+		if v.SafeT < eff {
+			return false
+		}
+		if v.PendingBelow > 0 && v.PendingBelow <= eff {
+			return false
 		}
 	}
-	return false
+	return true
 }
 
 func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
@@ -375,10 +434,12 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 		t := c.Current()
 		switch c.phase {
 		case reading:
-			if c.unstable() && c.rounds < MaxReadRounds {
-				// Retry: a pending transaction below the effective time
-				// may commit into our snapshot.
-				out = append(out, c.sendReads(1)...)
+			if eff := c.effTime(); eff > 0 && !c.settled(eff) && c.rounds < MaxReadRounds {
+				// Second round, read-at-time: re-request the snapshot at the
+				// effective time. The servers observe eff into their clocks,
+				// so the retry either settles every object at eff or keeps
+				// re-polling while a prepare at or below eff is pending.
+				out = append(out, c.sendReads(eff)...)
 				return out
 			}
 			for _, obj := range t.ReadSet {

@@ -87,14 +87,88 @@ func TestWriteIsTwoPhase(t *testing.T) {
 	}
 }
 
-// TestLoadConformance: expected-failing. The model's read protocol
-// ignores the second-round At timestamp, so a reader straddling a
-// multi-server commit can observe half of it under concurrent load; see
-// the ROADMAP item "Eiger fractures atomic visibility under concurrent
-// load". The suite skips when the fracture manifests.
+// TestLoadConformance: eiger must certify clean under concurrent load on
+// both stepping engines. The second-round read-at-time (server honors the
+// At timestamp, client settles on SafeT/PendingBelow at the effective
+// time) closed the straddling-read fracture that used to make this suite
+// expected-failing; TestReadAtTimeClosesStraddlingRead pins the exact
+// schedule that fractured.
 func TestLoadConformance(t *testing.T) {
 	ptest.RunLoad(t, eiger.New(), ptest.Expect{
-		LoadTxns:     96,
-		FractureNote: "ROADMAP: Eiger fractures atomic visibility under concurrent load — second-round read-at-time not implemented",
+		LoadTxns: 96,
 	})
+}
+
+// TestReadAtTimeClosesStraddlingRead pins the schedule that used to
+// fracture atomic visibility: a reader whose round-1 request reaches s0
+// BEFORE the writer's prepare even arrives there (so s0 reports no
+// pending marker at all) while its request to s1 arrives after the
+// commit. The old protocol saw no pending marker, skipped the retry and
+// returned the mixed pair; read-at-time forces a second round at the
+// effective time, which cannot settle at s0 until the commit lands.
+func TestReadAtTimeClosesStraddlingRead(t *testing.T) {
+	d := ptest.Deploy(t, eiger.New(), ptest.Expect{}, 109)
+
+	// Writer c0: multi-server write {X0=n0, X1=n1}.
+	d.Invoke("c0", model.NewWriteOnly(model.TxnID{},
+		model.Write{Object: "X0", Value: "n0"}, model.Write{Object: "X1", Value: "n1"}))
+	d.Kernel.StepProcess("c0")
+
+	// Reader r0 fires its round-1 reads NOW: both requests are in flight
+	// before any prepare has been delivered.
+	rotID := d.Invoke("r0", model.NewReadOnly(model.TxnID{}, "X0", "X1"))
+	d.Kernel.StepProcess("r0")
+
+	// Deliver r0's round-1 request to s0 first: s0 has no pending marker
+	// and answers with the old X0 and PendingBelow = 0.
+	for _, m := range d.Kernel.InTransitOn(sim.Link{From: "r0", To: "s0"}) {
+		d.Kernel.Deliver(m.ID)
+	}
+	d.Kernel.StepProcess("s0")
+
+	// Now run the write to completion: prepares, acks, commits at both.
+	for _, s := range []sim.ProcessID{"s0", "s1"} {
+		for _, m := range d.Kernel.InTransitOn(sim.Link{From: "c0", To: s}) {
+			d.Kernel.Deliver(m.ID)
+		}
+		d.Kernel.StepProcess(s)
+	}
+	for _, s := range []sim.ProcessID{"s0", "s1"} {
+		for _, m := range d.Kernel.InTransitOn(sim.Link{From: s, To: "c0"}) {
+			d.Kernel.Deliver(m.ID)
+		}
+	}
+	d.Kernel.StepProcess("c0") // send commits
+	for _, s := range []sim.ProcessID{"s0", "s1"} {
+		for _, m := range d.Kernel.InTransitOn(sim.Link{From: "c0", To: s}) {
+			d.Kernel.Deliver(m.ID)
+		}
+		d.Kernel.StepProcess(s)
+	}
+
+	// Only now deliver r0's round-1 request to s1: it answers with the
+	// NEW X1 at the commit timestamp. Round 1 is now a mixed snapshot
+	// with no pending marker anywhere.
+	for _, m := range d.Kernel.InTransitOn(sim.Link{From: "r0", To: "s1"}) {
+		d.Kernel.Deliver(m.ID)
+	}
+	d.Kernel.StepProcess("s1")
+
+	// Let the ROT finish: the read-at-time second round must repair X0.
+	sim.Run(d.Kernel, &sim.RoundRobin{}, func(*sim.Kernel) bool { return !d.Client("r0").Busy() }, 400_000)
+	res := d.Client("r0").Results()[rotID]
+	if res == nil || !res.OK() {
+		t.Fatalf("ROT did not complete: %v", res)
+	}
+	v0, v1 := res.Value("X0"), res.Value("X1")
+	if (v0 == "n0") != (v1 == "n1") {
+		t.Fatalf("straddling read fractured the write: X0=%v X1=%v", v0, v1)
+	}
+	if v1 != "n1" {
+		t.Fatalf("round 1 was scheduled after the commit at s1, want new X1: %v", res.Values)
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("mixed round-1 snapshot settled without a read-at-time round: rounds=%d values=%v",
+			res.Rounds, res.Values)
+	}
 }

@@ -4,14 +4,45 @@
 // the one-value property. Every write carries (a) the values of the other
 // objects written by the same transaction and (b) the values of all the
 // objects the transaction causally depends on; servers store this fat
-// metadata alongside the version and return all of it to readers, who then
-// locally select, per object, the newest value they can prove consistent.
+// metadata alongside the version and return all of it to readers.
 //
 // The responses therefore carry values for objects the answering server
 // does not even store — a direct violation of the (general) one-value
 // property, which is exactly the trade the paper describes: "this protocol
 // is not efficient, as it requires to store and communicate a
 // prohibitively big amount of data".
+//
+// Client model. Each client IS a tiny replica. A write's dependency
+// metadata is the writer's ENTIRE applied history with values (full
+// causal delivery), so a read response parses into a batch of complete
+// transactions — the current version with its siblings, plus every
+// transaction in its transitive causal past, each carrying its FULL
+// write-set of values — and the client applies them like a replicated
+// store would:
+//
+//   - a transaction already applied is skipped (dependency vectors count
+//     per-client write transactions, and a client's writes always apply
+//     in order, so the vector test is exact);
+//   - the remainder are applied in (Lamport timestamp, writer) order — a
+//     linear extension of happens-before — each one atomically installing
+//     values for its whole write-set.
+//
+// The client's serialization is its application order with reads
+// interleaved, which is causally legal by construction: a response can
+// never bring a transaction into the causal past without also delivering
+// the values of every predecessor, so happens-before is respected across
+// batches, and atomic full-write-set application means two transactions
+// that wrote the same set of objects can never be observed mixed.
+//
+// Thriftier clients were tried first and all fracture under concurrent
+// load at 2 objects/server: per-object freshest-value heuristics silently
+// commit cross-object ordering (reading X1's initial value next to a
+// fresh X0 orders every unseen X1 write after that X0) that later choices
+// contradict, and shipping only the writer's current dependency CUT
+// (latest value per object) lets a write drag a transaction into the
+// reader's past without its values, wedging objects the skipped entries
+// no longer cover. Full causal delivery is what the paper's "store and
+// communicate a prohibitively big amount of data" verdict is about.
 package fatcops
 
 import (
@@ -24,6 +55,37 @@ import (
 	"repro/internal/store"
 	"repro/internal/vclock"
 )
+
+// vec is a dependency vector: client → number of that client's write
+// transactions in the causal past. Vectors are immutable once built.
+type vec map[string]int64
+
+// leq reports a ≤ b pointwise (a is in b's causal past or equal).
+func (a vec) leq(b vec) bool {
+	for k, v := range a {
+		if v > b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeInto folds a into dst pointwise (dst is the caller's mutable copy).
+func (a vec) mergeInto(dst vec) {
+	for k, v := range a {
+		if v > dst[k] {
+			dst[k] = v
+		}
+	}
+}
+
+func (a vec) clone() vec {
+	c := make(vec, len(a))
+	for k, v := range a {
+		c[k] = v
+	}
+	return c
+}
 
 // Protocol is the fatcops factory.
 type Protocol struct{}
@@ -55,32 +117,25 @@ func (*Protocol) NewServer(id sim.ProcessID, pl *protocol.Placement) sim.Process
 func (*Protocol) NewClient(id sim.ProcessID, pl *protocol.Placement) protocol.Client {
 	// Initializing clients stamp their writes at 1; every other client
 	// boots its clock at 1 so even a blind first write is stamped 2 and
-	// strictly dominates the initial values.
+	// is applied after the initial values.
 	clock := int64(1)
 	if protocol.IsInitClient(id) {
 		clock = 0
 	}
-	return &client{Core: protocol.NewCore(id, pl), clock: clock, ctx: make(map[string]stamped)}
+	return &client{Core: protocol.NewCore(id, pl), clock: clock,
+		vec: make(vec), ctx: make(map[string]stamped)}
 }
 
-// stamped is a value with its Lamport timestamp and writer.
+// stamped is an applied value with its writer, the writer's Lamport
+// timestamp, and the writing transaction's dependency vector, write-set
+// and full value map. All are immutable once built.
 type stamped struct {
 	Val    model.Value
 	Writer model.TxnID
 	TS     int64
-}
-
-// after reports whether version (ts1, w1) follows (ts2, w2) in the global
-// version order: Lamport timestamp first, writer ID as a tie-break. Every
-// comparison in the protocol — server-side "latest" selection and
-// client-side reconciliation alike — uses this one order, which is what
-// makes the fat-metadata repair sound: all parties agree on which of two
-// concurrent transactions is "newer".
-func after(ts1 int64, w1 model.TxnID, ts2 int64, w2 model.TxnID) bool {
-	if ts1 != ts2 {
-		return ts1 > ts2
-	}
-	return w1.String() > w2.String()
+	Vec    vec
+	WSet   []string
+	Vals   map[string]model.Value
 }
 
 // --- payloads ---
@@ -95,44 +150,85 @@ func (p *readReq) Clone() sim.Payload         { c := *p; c.Objs = append([]strin
 func (p *readReq) Txn() model.TxnID           { return p.TID }
 func (p *readReq) PayloadRole() protocol.Role { return protocol.RoleReadReq }
 
-// fatEntry is one object's candidate value in a fat response.
+// fatEntry is one object's candidate value in a fat response, together
+// with the writing transaction's dependency vector and write-set.
 type fatEntry struct {
 	Object string
 	Val    model.Value
 	Writer model.TxnID
 	TS     int64
+	Vec    vec
+	WSet   []string
+}
+
+func cloneEntries(es []fatEntry) []fatEntry {
+	c := make([]fatEntry, len(es))
+	for i, e := range es {
+		e.Vec = e.Vec.clone()
+		e.WSet = append([]string(nil), e.WSet...)
+		c[i] = e
+	}
+	return c
+}
+
+// directVal is the primary's answer for one requested object: the current
+// version (last installed at the primary) plus the writing transaction's
+// stored fat metadata.
+type directVal struct {
+	Object string
+	Val    model.Value
+	Writer model.TxnID
+	TS     int64
+	Vec    vec
+	WSet   []string   // all objects the current writer's transaction wrote
+	Sibs   []fatEntry // current writer's sibling writes
+	Deps   []fatEntry // current writer's dependency values
 }
 
 type readResp struct {
-	TID     model.TxnID
-	Entries []fatEntry // direct values plus sibling/dependency values
+	TID  model.TxnID
+	Vals []directVal
 }
 
 func (p *readResp) Kind() string { return "fat-read-resp" }
 func (p *readResp) Clone() sim.Payload {
 	c := *p
-	c.Entries = append([]fatEntry(nil), p.Entries...)
+	c.Vals = make([]directVal, len(p.Vals))
+	for i, v := range p.Vals {
+		v.Vec = v.Vec.clone()
+		v.WSet = append([]string(nil), v.WSet...)
+		v.Sibs = cloneEntries(v.Sibs)
+		v.Deps = cloneEntries(v.Deps)
+		c.Vals[i] = v
+	}
 	return &c
 }
 func (p *readResp) Txn() model.TxnID           { return p.TID }
 func (p *readResp) PayloadRole() protocol.Role { return protocol.RoleReadResp }
 func (p *readResp) CarriedValues() []model.ValueRef {
-	out := make([]model.ValueRef, 0, len(p.Entries))
-	for _, e := range p.Entries {
-		if e.Val == model.Bottom {
-			continue
+	var out []model.ValueRef
+	for _, v := range p.Vals {
+		if v.Val != model.Bottom {
+			out = append(out, model.ValueRef{Object: v.Object, Value: v.Val, Writer: v.Writer})
 		}
-		out = append(out, model.ValueRef{Object: e.Object, Value: e.Val, Writer: e.Writer})
+		for _, e := range append(append([]fatEntry(nil), v.Sibs...), v.Deps...) {
+			if e.Val != model.Bottom {
+				out = append(out, model.ValueRef{Object: e.Object, Value: e.Val, Writer: e.Writer})
+			}
+		}
 	}
 	return out
 }
 
 type writeReq struct {
-	TID    model.TxnID
-	TS     int64
-	Writes []model.Write // writes for objects hosted at the destination
-	// Siblings are the transaction's writes to other objects; DepVals are
-	// the causally depended-on values — both shipped and stored whole.
+	TID model.TxnID
+	TS  int64
+	Vec vec
+	// Writes are the writes for objects hosted at the destination.
+	Writes []model.Write
+	// Siblings are ALL of the transaction's writes (co-hosted ones
+	// included — readers apply the whole write-set atomically); DepVals
+	// are the causally depended-on values. Both are shipped and stored.
 	Siblings []fatEntry
 	DepVals  []fatEntry
 }
@@ -140,9 +236,10 @@ type writeReq struct {
 func (p *writeReq) Kind() string { return "fat-write-req" }
 func (p *writeReq) Clone() sim.Payload {
 	c := *p
+	c.Vec = p.Vec.clone()
 	c.Writes = append([]model.Write(nil), p.Writes...)
-	c.Siblings = append([]fatEntry(nil), p.Siblings...)
-	c.DepVals = append([]fatEntry(nil), p.DepVals...)
+	c.Siblings = cloneEntries(p.Siblings)
+	c.DepVals = cloneEntries(p.DepVals)
 	return &c
 }
 func (p *writeReq) Txn() model.TxnID           { return p.TID }
@@ -159,12 +256,19 @@ func (p *writeResp) PayloadRole() protocol.Role { return protocol.RoleWriteResp 
 
 // --- server ---
 
+// metaBlob is the fat metadata stored per (object, writer).
+type metaBlob struct {
+	Sibs []fatEntry
+	Deps []fatEntry
+	WSet []string // every object the writing transaction touched
+	Vec  vec      // the writing transaction's dependency vector
+}
+
 type server struct {
-	id sim.ProcessID
-	pl *protocol.Placement
-	st *store.Store
-	// meta holds the fat metadata per (object, writer) as flat entries.
-	meta map[string][]fatEntry
+	id   sim.ProcessID
+	pl   *protocol.Placement
+	st   *store.Store
+	meta map[string]metaBlob
 }
 
 func (s *server) ID() sim.ProcessID { return s.id }
@@ -173,16 +277,21 @@ func (s *server) Ready() bool       { return false }
 func metaKey(obj string, w model.TxnID) string { return obj + "\x00" + w.String() }
 
 func (s *server) Clone() sim.Process {
-	c := &server{id: s.id, pl: s.pl, st: s.st.Clone(), meta: make(map[string][]fatEntry, len(s.meta))}
+	c := &server{id: s.id, pl: s.pl, st: s.st.Clone(), meta: make(map[string]metaBlob, len(s.meta))}
 	for k, v := range s.meta {
-		c.meta[k] = append([]fatEntry(nil), v...)
+		c.meta[k] = metaBlob{
+			Sibs: cloneEntries(v.Sibs),
+			Deps: cloneEntries(v.Deps),
+			WSet: append([]string(nil), v.WSet...),
+			Vec:  v.Vec.clone(),
+		}
 	}
 	return c
 }
 
 func (s *server) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 	if s.meta == nil {
-		s.meta = make(map[string][]fatEntry)
+		s.meta = make(map[string]metaBlob)
 	}
 	var out []sim.Outbound
 	for _, m := range inbox {
@@ -190,34 +299,34 @@ func (s *server) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 		case *readReq:
 			resp := &readResp{TID: p.TID}
 			for _, obj := range p.Objs {
-				var v *store.Version
-				for _, cand := range s.st.Versions(obj) {
-					if !cand.Visible {
-						continue
-					}
-					if v == nil || after(cand.Stamp.Wall, cand.Writer, v.Stamp.Wall, v.Writer) {
-						v = cand
-					}
-				}
-				if v == nil {
-					resp.Entries = append(resp.Entries, fatEntry{Object: obj, Val: model.Bottom})
+				chain := s.st.Versions(obj)
+				if len(chain) == 0 {
+					resp.Vals = append(resp.Vals, directVal{Object: obj, Val: model.Bottom})
 					continue
 				}
-				resp.Entries = append(resp.Entries, fatEntry{Object: obj, Val: v.Value, Writer: v.Writer, TS: v.Stamp.Wall})
-				// Attach the stored fat metadata (siblings + dep values).
-				resp.Entries = append(resp.Entries, s.meta[metaKey(obj, v.Writer)]...)
+				// The current version is the last installed one.
+				v := chain[len(chain)-1]
+				blob := s.meta[metaKey(obj, v.Writer)]
+				resp.Vals = append(resp.Vals, directVal{
+					Object: obj, Val: v.Value, Writer: v.Writer, TS: v.Stamp.Wall,
+					Vec: blob.Vec, WSet: blob.WSet, Sibs: blob.Sibs, Deps: blob.Deps,
+				})
 			}
 			out = append(out, sim.Outbound{To: m.From, Payload: resp})
 		case *writeReq:
+			// The sibling list carries the transaction's full write-set.
+			wset := make([]string, 0, len(p.Siblings))
+			for _, e := range p.Siblings {
+				wset = append(wset, e.Object)
+			}
 			for _, w := range p.Writes {
 				s.st.Install(&store.Version{
 					Object: w.Object, Value: w.Value, Writer: p.TID,
 					Visible: true, Stamp: vclock.HLCStamp{Wall: p.TS},
 				})
-				var extras []fatEntry
-				extras = append(extras, p.Siblings...)
-				extras = append(extras, p.DepVals...)
-				s.meta[metaKey(w.Object, p.TID)] = extras
+				s.meta[metaKey(w.Object, p.TID)] = metaBlob{
+					Sibs: p.Siblings, Deps: p.DepVals, WSet: wset, Vec: p.Vec,
+				}
 			}
 			out = append(out, sim.Outbound{To: m.From, Payload: &writeResp{TID: p.TID}})
 		default:
@@ -231,13 +340,26 @@ func (s *server) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 
 type client struct {
 	protocol.Core
-	clock   int64
-	ctx     map[string]stamped // causal context: newest observed value per object
+	clock  int64
+	writes int64 // own write transactions issued (this client's vector entry)
+	vec    vec   // applied causal past: exactly the transactions applied
+	// ctx is the local replica state: the latest applied value per object.
+	ctx map[string]stamped
+	// past is the client's entire applied history, flattened to (writer,
+	// object, value) entries in application order. It is shipped verbatim
+	// as the dependency metadata of every write — the whole transitive
+	// causal past with values, which is what lets any reader causally
+	// deliver a write it was missing predecessors for. This is the
+	// "prohibitively big amount of data" of §3.4, kept deliberately.
+	past    []fatEntry
 	pending int
 }
 
 func (c *client) Clone() sim.Process {
-	cp := &client{Core: c.CloneCore(), clock: c.clock, pending: c.pending, ctx: make(map[string]stamped, len(c.ctx))}
+	cp := &client{Core: c.CloneCore(), clock: c.clock, writes: c.writes, pending: c.pending,
+		vec:  c.vec.clone(),
+		ctx:  make(map[string]stamped, len(c.ctx)),
+		past: append([]fatEntry(nil), c.past...)}
 	for k, v := range c.ctx {
 		cp.ctx[k] = v
 	}
@@ -246,30 +368,133 @@ func (c *client) Clone() sim.Process {
 
 func (c *client) Ready() bool { return c.Busy() && !c.Started() }
 
-// observe merges a candidate value into the causal context (the global
-// version order decides which value wins).
-func (c *client) observe(e fatEntry) {
-	cur, exists := c.ctx[e.Object]
-	if !exists || after(e.TS, e.Writer, cur.TS, cur.Writer) {
-		c.ctx[e.Object] = stamped{Val: e.Val, Writer: e.Writer, TS: e.TS}
-	}
-	if e.TS > c.clock {
-		c.clock = e.TS
+func (c *client) tick(ts int64) {
+	if ts > c.clock {
+		c.clock = ts
 	}
 }
 
-func (c *client) ctxEntries() []fatEntry {
-	objs := make([]string, 0, len(c.ctx))
-	for o := range c.ctx {
-		objs = append(objs, o)
+// txnCand is one complete transaction reconstructed from a fat response:
+// its full write-set with values, ready to be applied atomically.
+type txnCand struct {
+	id   model.TxnID
+	ts   int64
+	vc   vec
+	wset []string
+	vals map[string]model.Value
+}
+
+// applyBatch parses one read response into complete transactions and
+// applies them to the local replica state. A transaction already applied
+// is skipped (the vector test is exact: counters are per-client
+// sequential and a client's writes always apply in order); the rest are
+// applied in (TS, writer) order — a linear extension of happens-before,
+// because causally ordered writes have strictly increasing Lamport
+// timestamps — each atomically installing its whole write-set. Because
+// every write travels with its full transitive past, a response never
+// introduces a transaction into the causal past without also delivering
+// its values, so the application order with reads interleaved is a legal
+// causal serialization by construction.
+func (c *client) applyBatch(vals []directVal) {
+	cands := make(map[string]*txnCand)
+	ensure := func(w model.TxnID, ts int64, vc vec, wset []string) *txnCand {
+		k := w.String()
+		t := cands[k]
+		if t == nil {
+			t = &txnCand{id: w, ts: ts, vc: vc, wset: wset, vals: make(map[string]model.Value)}
+			cands[k] = t
+		}
+		return t
 	}
-	sort.Strings(objs)
-	out := make([]fatEntry, 0, len(objs))
-	for _, o := range objs {
-		s := c.ctx[o]
-		out = append(out, fatEntry{Object: o, Val: s.Val, Writer: s.Writer, TS: s.TS})
+	for _, dv := range vals {
+		if dv.Val == model.Bottom {
+			continue
+		}
+		t := ensure(dv.Writer, dv.TS, dv.Vec, dv.WSet)
+		t.vals[dv.Object] = dv.Val
+		for _, e := range dv.Sibs {
+			t.vals[e.Object] = e.Val
+		}
+		for _, e := range dv.Deps {
+			d := ensure(e.Writer, e.TS, e.Vec, e.WSet)
+			d.vals[e.Object] = e.Val
+		}
 	}
-	return out
+	batch := make([]*txnCand, 0, len(cands))
+	for _, t := range cands {
+		batch = append(batch, t)
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].ts != batch[j].ts {
+			return batch[i].ts < batch[j].ts
+		}
+		return batch[i].id.String() < batch[j].id.String()
+	})
+	for _, t := range batch {
+		c.tick(t.ts)
+		if t.vc.leq(c.vec) {
+			continue // already in the causal past: superseded
+		}
+		if protocol.IsInitClient(sim.ProcessID(t.id.Client)) {
+			// Initial writes precede everything, but blind writers do not
+			// record them in dependency vectors, so the vector test above
+			// cannot supersede them: an initial value only fills an
+			// object the client has never seen written.
+			for _, o := range t.wset {
+				if _, held := c.ctx[o]; held {
+					continue
+				}
+				c.ctx[o] = stamped{Val: t.vals[o], Writer: t.id, TS: t.ts,
+					Vec: t.vc, WSet: t.wset, Vals: t.vals}
+			}
+			c.record(t)
+			continue
+		}
+		wset := t.wset
+		if len(wset) == 0 {
+			wset = make([]string, 0, len(t.vals))
+			for o := range t.vals {
+				wset = append(wset, o)
+			}
+			sort.Strings(wset)
+		}
+		complete := true
+		for _, o := range wset {
+			if _, known := t.vals[o]; !known {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			// Partial application would leave the cut inconsistent;
+			// the invariant (siblings always carry the full write-set)
+			// makes this unreachable, but skip defensively.
+			continue
+		}
+		for _, o := range wset {
+			c.ctx[o] = stamped{Val: t.vals[o], Writer: t.id, TS: t.ts,
+				Vec: t.vc, WSet: wset, Vals: t.vals}
+		}
+		c.record(t)
+	}
+}
+
+// record appends an applied transaction to the client's flattened history
+// and folds it into the applied-past vector.
+func (c *client) record(t *txnCand) {
+	wset := t.wset
+	if len(wset) == 0 {
+		wset = make([]string, 0, len(t.vals))
+		for o := range t.vals {
+			wset = append(wset, o)
+		}
+		sort.Strings(wset)
+	}
+	for _, o := range wset {
+		c.past = append(c.past, fatEntry{Object: o, Val: t.vals[o], Writer: t.id,
+			TS: t.ts, Vec: t.vc, WSet: wset})
+	}
+	t.vc.mergeInto(c.vec)
 }
 
 func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
@@ -281,11 +506,7 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 		switch p := m.Payload.(type) {
 		case *readResp:
 			if p.TID == c.Current().ID {
-				for _, e := range p.Entries {
-					if e.Val != model.Bottom {
-						c.observe(e)
-					}
-				}
+				c.applyBatch(p.Vals)
 				c.pending--
 			}
 		case *writeResp:
@@ -315,11 +536,24 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 			}
 		} else {
 			c.clock++
+			c.writes++
 			ts := c.clock
-			deps := c.ctxEntries()
+			// The write's dependency metadata is the client's ENTIRE
+			// applied history with values — full causal delivery.
+			deps := append([]fatEntry(nil), c.past...)
+			// wv is shipped and stored remotely, so it must be frozen
+			// here: the client's own mutable vec is a separate copy.
+			wv := c.vec.clone()
+			wv[string(c.ID())] = c.writes
+			c.vec = wv.clone()
+			wset := make([]string, 0, len(t.Writes))
+			for _, w := range t.Writes {
+				wset = append(wset, w.Object)
+			}
 			var siblings []fatEntry
 			for _, w := range t.Writes {
-				siblings = append(siblings, fatEntry{Object: w.Object, Val: w.Value, Writer: t.ID, TS: ts})
+				siblings = append(siblings, fatEntry{Object: w.Object, Val: w.Value, Writer: t.ID,
+					TS: ts, Vec: wv, WSet: wset})
 			}
 			writesBy := make(map[sim.ProcessID][]model.Write)
 			for _, w := range t.Writes {
@@ -332,15 +566,8 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 				if !involved {
 					continue
 				}
-				// Siblings shipped to each server exclude its own writes.
-				var sib []fatEntry
-				for _, e := range siblings {
-					if !pl.Hosts(srv, e.Object) {
-						sib = append(sib, e)
-					}
-				}
 				out = append(out, sim.Outbound{To: srv, Payload: &writeReq{
-					TID: t.ID, TS: ts, Writes: ws, Siblings: sib, DepVals: deps,
+					TID: t.ID, TS: ts, Vec: wv, Writes: ws, Siblings: siblings, DepVals: deps,
 				}})
 				c.pending++
 			}
@@ -351,9 +578,8 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 	if c.Busy() && c.Started() && c.pending == 0 {
 		t := c.Current()
 		if t.IsReadOnly() {
-			// Reconcile: the causal context now holds, per object, the
-			// newest value any response (directly or via fat metadata)
-			// established; report those for the read set.
+			// Every response batch has been applied; the replica state is
+			// the read's snapshot.
 			for _, obj := range t.ReadSet {
 				if s, exists := c.ctx[obj]; exists {
 					c.Result().Values[obj] = s.Val
@@ -362,9 +588,20 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 				}
 			}
 		} else {
+			// The client's own writes are the newest thing in its causal
+			// past: apply them to the local replica unconditionally.
+			vals := make(map[string]model.Value, len(t.Writes))
+			wset := make([]string, 0, len(t.Writes))
 			for _, w := range t.Writes {
-				c.observe(fatEntry{Object: w.Object, Val: w.Value, Writer: t.ID, TS: c.clock})
+				vals[w.Object] = w.Value
+				wset = append(wset, w.Object)
 			}
+			wv := c.vec.clone()
+			for _, w := range t.Writes {
+				c.ctx[w.Object] = stamped{Val: w.Value, Writer: t.ID, TS: c.clock,
+					Vec: wv, WSet: wset, Vals: vals}
+			}
+			c.record(&txnCand{id: t.ID, ts: c.clock, vc: wv, wset: wset, vals: vals})
 		}
 		c.Finish(now)
 	}

@@ -439,7 +439,12 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 		case cutoffWait:
 			// Round 2: snapshot reads at the cutoff.
 			c.phase = reading
-			for srv, objs := range c.serversForReads() {
+			targets := c.serversForReads()
+			for _, srv := range c.Placement().Servers() {
+				objs, involved := targets[srv]
+				if !involved {
+					continue
+				}
 				out = append(out, sim.Outbound{To: srv, Payload: &readReq{TID: t.ID, Objs: objs, Snap: c.snap}})
 				c.pending++
 			}
