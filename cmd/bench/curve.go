@@ -29,6 +29,10 @@ type curveRow struct {
 	Offered   float64 `json:"offered_txn_per_s"`
 	Achieved  float64 `json:"achieved_txn_per_s"`
 	Knee      float64 `json:"knee_txn_per_s"`
+	// Refined marks a knee-bisection point (-refineknee): it ran after
+	// the swept fractions with the longer refinement window, and its
+	// txns column reflects that window.
+	Refined bool `json:"refined,omitempty"`
 
 	Committed  int   `json:"committed"`
 	Rejected   int   `json:"rejected"`
@@ -61,8 +65,8 @@ type curveConfig struct {
 	protocols   []string
 	mixes       []string
 	fractions   []float64
-	clients     int
-	txns        int
+	clients     []int
+	txns        []int
 	servers     []int
 	replication []int
 	topologies  []string
@@ -70,6 +74,7 @@ type curveConfig struct {
 	seed        int64
 	uniform     bool // deterministic-rate arrivals instead of Poisson
 	certify     bool // ride-along certification of every point
+	refineKnee  bool // bisect the knee after each fraction sweep
 	workers     int
 	barrier     bool
 	rebalance   bool
@@ -112,55 +117,67 @@ func buildCurve(cfg curveConfig) ([]curveRow, error) {
 						if repl > srv {
 							continue // replication factor cannot exceed servers
 						}
-						curve, err := core.MeasureLoadCurve(p, mix, cfg.seed, core.CurveOptions{
-							Servers: srv, ObjectsPerServer: cfg.objects,
-							Replication: repl,
-							Clients:     cfg.clients, Txns: cfg.txns,
-							Fractions: cfg.fractions, Deterministic: cfg.uniform,
-							Topology: topo,
-							Certify:  cfg.certify,
-							Workers:  cfg.workers, Barrier: cfg.barrier, Rebalance: cfg.rebalance,
-						})
-						if err != nil {
-							return nil, err
-						}
-						for _, pt := range curve.Points {
-							rows = append(rows, curveRow{
-								Protocol:     curve.Protocol,
-								MixName:      strings.TrimSpace(mixName),
-								ReadFraction: mix.ReadFraction,
-								ZipfS:        mix.ZipfS,
-								Servers:      srv,
-								Replication:  repl,
-								Topology:     topoCol,
-								Sites:        sitesCol,
-								Clients:      cfg.clients,
-								Txns:         cfg.txns,
-								Arrivals:     arrivals,
-								Saturated:    curve.Saturated,
-								Fraction:     pt.Fraction,
-								Offered:      pt.Offered,
-								Achieved:     pt.Achieved,
-								Knee:         curve.Knee,
-								Committed:    pt.Committed,
-								Rejected:     pt.Rejected,
-								Incomplete:   pt.Incomplete,
-								Events:       pt.Events,
-								DurationUs:   int64(pt.Duration),
-								LatencyP50:   pt.Latency.P50,
-								LatencyP90:   pt.Latency.P90,
-								LatencyP99:   pt.Latency.P99,
-								LatencyMean:  pt.Latency.Mean,
-								QueueP50:     pt.QueueDelay.P50,
-								QueueP99:     pt.QueueDelay.P99,
-								QueueMean:    pt.QueueDelay.Mean,
-								ServiceP50:   pt.Service.P50,
-								ServiceP99:   pt.Service.P99,
-								InFlightMax:  pt.InFlight.Max,
-							})
-							shardCells(&rows[len(rows)-1].shardCols, pt.Sharding)
-							if cfg.certify {
-								certCells(&rows[len(rows)-1].certCols, pt.Cert)
+						for _, txns := range cfg.txns {
+							for _, cl := range cfg.clients {
+								curve, err := core.MeasureLoadCurve(p, mix, cfg.seed, core.CurveOptions{
+									Servers: srv, ObjectsPerServer: cfg.objects,
+									Replication: repl,
+									Clients:     cl, Txns: txns,
+									Fractions: cfg.fractions, Deterministic: cfg.uniform,
+									Topology:   topo,
+									Certify:    cfg.certify,
+									RefineKnee: cfg.refineKnee,
+									Workers:    cfg.workers, Barrier: cfg.barrier, Rebalance: cfg.rebalance,
+								})
+								if err != nil {
+									return nil, err
+								}
+								for _, pt := range curve.Points {
+									// Refinement points ran the longer bisection
+									// window; their txns column says which.
+									ptTxns := txns
+									if pt.Refined {
+										ptTxns = 2 * txns
+									}
+									rows = append(rows, curveRow{
+										Protocol:     curve.Protocol,
+										MixName:      strings.TrimSpace(mixName),
+										ReadFraction: mix.ReadFraction,
+										ZipfS:        mix.ZipfS,
+										Servers:      srv,
+										Replication:  repl,
+										Topology:     topoCol,
+										Sites:        sitesCol,
+										Clients:      cl,
+										Txns:         ptTxns,
+										Arrivals:     arrivals,
+										Saturated:    curve.Saturated,
+										Fraction:     pt.Fraction,
+										Offered:      pt.Offered,
+										Achieved:     pt.Achieved,
+										Knee:         curve.Knee,
+										Refined:      pt.Refined,
+										Committed:    pt.Committed,
+										Rejected:     pt.Rejected,
+										Incomplete:   pt.Incomplete,
+										Events:       pt.Events,
+										DurationUs:   int64(pt.Duration),
+										LatencyP50:   pt.Latency.P50,
+										LatencyP90:   pt.Latency.P90,
+										LatencyP99:   pt.Latency.P99,
+										LatencyMean:  pt.Latency.Mean,
+										QueueP50:     pt.QueueDelay.P50,
+										QueueP99:     pt.QueueDelay.P99,
+										QueueMean:    pt.QueueDelay.Mean,
+										ServiceP50:   pt.Service.P50,
+										ServiceP99:   pt.Service.P99,
+										InFlightMax:  pt.InFlight.Max,
+									})
+									shardCells(&rows[len(rows)-1].shardCols, pt.Sharding)
+									if cfg.certify {
+										certCells(&rows[len(rows)-1].certCols, pt.Cert)
+									}
+								}
 							}
 						}
 					}

@@ -34,26 +34,37 @@
 // curve on every row.
 //
 // With -certify each cell (closed-loop grid and -curve points alike) is
-// certified ride-along: committed transactions feed an incremental
+// certified ride-along: committed transactions feed a streaming
 // history.Session at the protocol's claimed consistency level while the
-// run executes, so the full default 2000-txn cells certify without a
-// reduced -txns, and a violating cell reports the first offending commit
-// (first_violation_txn). The recorded history is then re-solved by the
-// batch checker as a cross-check, and both wall-clocks land in the row
-// (cert_wall_ms incremental vs cert_batch_wall_ms) — the certification
-// half of the measurement story: a throughput number only counts if the
-// history behind it checks out.
+// run executes, evicting committed closure prefixes as their outcomes
+// pin, so -txns has no certification ceiling — a violating cell reports
+// the first offending commit (first_violation_txn). Cells at or below
+// history.MaxTxns transactions additionally record their history and
+// re-solve it with the one-shot batch checker as a cross-check; both
+// wall-clocks land in the row (cert_wall_ms incremental vs
+// cert_batch_wall_ms, the latter zero past the ceiling) — the
+// certification half of the measurement story: a throughput number only
+// counts if the history behind it checks out.
+//
+// -txns is a sweep axis in both modes (as is -curveclients in curve
+// mode), so one invocation can chart cost against run length. -stale
+// samples committed writes in closed-loop cells with a frozen
+// reserved-reader visibility probe (stale_probes/stale_hits/
+// stale_incomplete); -refineknee bisects each curve's queueing/service
+// crossover with longer-window points after the fraction sweep.
 //
 // Runs are fully deterministic: the same flags produce byte-identical
 // output, so the JSON can be diffed across commits to track performance
 // trajectories. (Exception: cert_wall_ms and cert_batch_wall_ms under
-// -certify are wall-clock; every other field stays deterministic.)
+// -certify are wall-clock; every other field — the -stale tallies
+// included — stays deterministic.)
 //
 //	go run ./cmd/bench -clients 16 -txns 2000
 //	go run ./cmd/bench -protocols all -clients 1,8,32 -mixes readheavy,balanced
 //	go run ./cmd/bench -servers 2,4,8 -replication 1,2 -workers 4 -txns 2000
-//	go run ./cmd/bench -certify -protocols cops,cure -servers 2,4,8 -clients 16 -txns 2000
-//	go run ./cmd/bench -curve -certify -protocols cops,spanner -fractions 0.1,0.5,0.9,1.1
+//	go run ./cmd/bench -certify -protocols cops -servers 4 -clients 16,256 -txns 2000,100000
+//	go run ./cmd/bench -stale -protocols cops,cure -clients 16
+//	go run ./cmd/bench -curve -certify -refineknee -protocols cops,spanner -fractions 0.1,0.5,0.9,1.1
 package main
 
 import (
@@ -65,6 +76,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/history"
 	"repro/internal/protocol"
 	"repro/internal/sim"
@@ -114,6 +126,9 @@ type row struct {
 	// Certification columns, shared with the -curve rows (present with
 	// -certify only).
 	certCols
+
+	// Staleness-probe columns (present with -stale only).
+	staleCols
 }
 
 // shardCols is the sharded-stepping column set (empty under -workers 0).
@@ -184,6 +199,29 @@ func certCells(r *certCols, c core.Certification) {
 	r.CertBatchWallMS = float64(c.BatchWall.Microseconds()) / 1000
 }
 
+// staleCols is the staleness-probe column set (present with -stale
+// only). stale_probes counts sampled committed writes, stale_hits the
+// probes whose write was not yet fully visible to the frozen reserved
+// reader, stale_incomplete the probes whose read could not even finish
+// on the frozen schedule. Probes run on kernel snapshots between events,
+// so unlike the cert wall-clocks all three tallies are deterministic and
+// byte-diffable.
+type staleCols struct {
+	StaleProbes     int `json:"stale_probes,omitempty"`
+	StaleHits       int `json:"stale_hits,omitempty"`
+	StaleIncomplete int `json:"stale_incomplete,omitempty"`
+}
+
+// staleCells fills the staleness columns from a run's probe report.
+func staleCells(r *staleCols, s *driver.StalenessReport) {
+	if s == nil {
+		return
+	}
+	r.StaleProbes = s.Probes
+	r.StaleHits = s.Stale
+	r.StaleIncomplete = s.Incomplete
+}
+
 func mixByName(name string) (workload.Mix, error) {
 	switch name {
 	case "readheavy":
@@ -215,11 +253,12 @@ type gridConfig struct {
 	servers     []int
 	replication []int
 	topologies  []string
-	txns        int
+	txns        []int
 	pipeline    int
 	objects     int
 	seed        int64
 	certify     bool
+	stale       bool
 	workers     int
 	barrier     bool
 	rebalance   bool
@@ -255,56 +294,60 @@ func buildGrid(cfg gridConfig) ([]row, error) {
 						if repl > srv {
 							continue // replication factor cannot exceed servers
 						}
-						for _, c := range cfg.clients {
-							rep, err := core.MeasureThroughputWith(p, mix, c, cfg.txns, cfg.seed, core.ThroughputOptions{
-								Servers:          srv,
-								ObjectsPerServer: cfg.objects,
-								Replication:      repl,
-								Pipeline:         cfg.pipeline,
-								Topology:         topo,
-								Certify:          cfg.certify,
-								Workers:          cfg.workers,
-								Barrier:          cfg.barrier,
-								Rebalance:        cfg.rebalance,
-							})
-							if err != nil {
-								return nil, err
+						for _, txns := range cfg.txns {
+							for _, c := range cfg.clients {
+								rep, err := core.MeasureThroughputWith(p, mix, c, txns, cfg.seed, core.ThroughputOptions{
+									Servers:          srv,
+									ObjectsPerServer: cfg.objects,
+									Replication:      repl,
+									Pipeline:         cfg.pipeline,
+									Topology:         topo,
+									Certify:          cfg.certify,
+									ProbeStaleness:   cfg.stale,
+									Workers:          cfg.workers,
+									Barrier:          cfg.barrier,
+									Rebalance:        cfg.rebalance,
+								})
+								if err != nil {
+									return nil, err
+								}
+								r := row{
+									Protocol:     rep.Protocol,
+									MixName:      mixName,
+									ReadFraction: mix.ReadFraction,
+									ZipfS:        mix.ZipfS,
+									Servers:      srv,
+									Replication:  repl,
+									Clients:      rep.Clients,
+									Pipeline:     rep.Pipeline,
+									Txns:         txns,
+									Committed:    rep.Committed,
+									Rejected:     rep.Rejected,
+									Incomplete:   rep.Incomplete,
+									Events:       rep.Events,
+									DurationUs:   int64(rep.Duration),
+									Throughput:   rep.Throughput,
+									LatencyP50:   rep.Latency.P50,
+									LatencyP90:   rep.Latency.P90,
+									LatencyP99:   rep.Latency.P99,
+									LatencyMean:  rep.Latency.Mean,
+									ROTP50:       rep.ROT.P50,
+									ROTP99:       rep.ROT.P99,
+									ROTRounds:    rep.ROTRounds,
+									WriteP50:     rep.Write.P50,
+									WriteP99:     rep.Write.P99,
+								}
+								if topo != nil {
+									r.Topology = topo.Name
+									r.Sites = topo.Sites
+								}
+								shardCells(&r.shardCols, rep.Sharding)
+								if cfg.certify {
+									certCells(&r.certCols, rep.Cert)
+								}
+								staleCells(&r.staleCols, rep.Staleness)
+								rows = append(rows, r)
 							}
-							r := row{
-								Protocol:     rep.Protocol,
-								MixName:      mixName,
-								ReadFraction: mix.ReadFraction,
-								ZipfS:        mix.ZipfS,
-								Servers:      srv,
-								Replication:  repl,
-								Clients:      rep.Clients,
-								Pipeline:     rep.Pipeline,
-								Txns:         cfg.txns,
-								Committed:    rep.Committed,
-								Rejected:     rep.Rejected,
-								Incomplete:   rep.Incomplete,
-								Events:       rep.Events,
-								DurationUs:   int64(rep.Duration),
-								Throughput:   rep.Throughput,
-								LatencyP50:   rep.Latency.P50,
-								LatencyP90:   rep.Latency.P90,
-								LatencyP99:   rep.Latency.P99,
-								LatencyMean:  rep.Latency.Mean,
-								ROTP50:       rep.ROT.P50,
-								ROTP99:       rep.ROT.P99,
-								ROTRounds:    rep.ROTRounds,
-								WriteP50:     rep.Write.P50,
-								WriteP99:     rep.Write.P99,
-							}
-							if topo != nil {
-								r.Topology = topo.Name
-								r.Sites = topo.Sites
-							}
-							shardCells(&r.shardCols, rep.Sharding)
-							if cfg.certify {
-								certCells(&r.certCols, rep.Cert)
-							}
-							rows = append(rows, r)
 						}
 					}
 				}
@@ -318,7 +361,9 @@ func main() {
 	protocols := flag.String("protocols", "cops,cure,spanner",
 		"comma-separated protocol names, or 'all'")
 	clients := flag.String("clients", "16", "comma-separated concurrent client counts")
-	txns := flag.Int("txns", 2000, "transactions per grid cell")
+	txns := flag.String("txns", "2000",
+		"comma-separated transactions-per-cell counts: a sweep axis in both "+
+			"modes (each count is a full grid/curve pass)")
 	mixes := flag.String("mixes", "readheavy", "comma-separated mixes (readheavy, balanced)")
 	pipeline := flag.Int("pipeline", 1, "outstanding invocations per client")
 	servers := flag.String("servers", "2,4,8",
@@ -346,15 +391,29 @@ func main() {
 			"chosen partition changes the cell's schedule, deterministically)")
 	certify := flag.Bool("certify", false, fmt.Sprintf(
 		"certify each cell ride-along at the protocol's claimed consistency "+
-			"level (adds cert fields incl. first_violation_txn to the grid; "+
-			"keep -txns ≤ %d, the shared checker ceiling history.MaxTxns, and "+
-			"note cert_wall_ms/cert_batch_wall_ms are wall-clock, so output "+
-			"is no longer byte-diffable)", history.MaxTxns))
+			"level (adds cert fields incl. first_violation_txn to the grid): "+
+			"the streaming session retires committed prefixes as it goes, so "+
+			"-txns has no certification ceiling; cells at or below %d txns "+
+			"(history.MaxTxns) are additionally re-solved by the batch checker "+
+			"as a cross-check (cert_batch_wall_ms; zero past the ceiling). "+
+			"cert_wall_ms/cert_batch_wall_ms are wall-clock, so output is no "+
+			"longer byte-diffable", history.MaxTxns))
+	stale := flag.Bool("stale", false,
+		"closed-loop grid only: sample committed writes with a frozen "+
+			"reserved-reader visibility probe and add stale_probes/stale_hits/"+
+			"stale_incomplete columns (deterministic: probes run on kernel "+
+			"snapshots between events and never perturb the run)")
+	refineKnee := flag.Bool("refineknee", false,
+		"curve mode: after the -fractions sweep, bisect the queueing/service "+
+			"crossover with longer-window open-loop points (rows marked "+
+			"\"refined\": true) instead of quantizing the knee to the swept "+
+			"fractions; swept rows stay byte-identical to an unrefined sweep")
 	curve := flag.Bool("curve", false,
 		"sweep open-loop offered load instead of closed-loop client counts")
 	fractions := flag.String("fractions", "0.1,0.25,0.5,0.75,0.9,1.1",
 		"curve mode: comma-separated fractions of saturated throughput to offer")
-	curveClients := flag.Int("curveclients", 8, "curve mode: clients receiving arrivals")
+	curveClients := flag.String("curveclients", "8",
+		"curve mode: comma-separated client counts receiving arrivals (a sweep axis)")
 	arrivals := flag.String("arrivals", "poisson", "curve mode: arrival process (poisson, uniform)")
 	flag.Parse()
 
@@ -378,6 +437,10 @@ func main() {
 	if err != nil {
 		fail(fmt.Errorf("-replication: %w", err))
 	}
+	txnCounts, err := parseInts(*txns)
+	if err != nil {
+		fail(fmt.Errorf("-txns: %w", err))
+	}
 
 	var out any
 	if *curve {
@@ -388,14 +451,19 @@ func main() {
 		if *arrivals != "poisson" && *arrivals != "uniform" {
 			fail(fmt.Errorf("unknown arrival process %q (have poisson, uniform)", *arrivals))
 		}
+		curveCounts, err := parseInts(*curveClients)
+		if err != nil {
+			fail(fmt.Errorf("-curveclients: %w", err))
+		}
 		rows, err := buildCurve(curveConfig{
 			protocols: names, mixes: mixNames, fractions: fracs,
-			clients: *curveClients, txns: *txns,
+			clients: curveCounts, txns: txnCounts,
 			servers: serverCounts, replication: replFactors,
 			topologies: strings.Split(*topology, ","),
 			objects:    *objects, seed: *seed,
 			uniform: *arrivals == "uniform", certify: *certify,
-			workers: *workers, barrier: *barrier, rebalance: *rebalance,
+			refineKnee: *refineKnee,
+			workers:    *workers, barrier: *barrier, rebalance: *rebalance,
 		})
 		if err != nil {
 			fail(err)
@@ -408,11 +476,12 @@ func main() {
 		}
 		rows, err := buildGrid(gridConfig{
 			protocols: names, mixes: mixNames, clients: counts,
-			txns: *txns, pipeline: *pipeline,
+			txns: txnCounts, pipeline: *pipeline,
 			servers: serverCounts, replication: replFactors,
 			topologies: strings.Split(*topology, ","),
 			objects:    *objects, seed: *seed,
-			certify: *certify, workers: *workers,
+			certify: *certify, stale: *stale,
+			workers: *workers,
 			barrier: *barrier, rebalance: *rebalance,
 		})
 		if err != nil {

@@ -41,7 +41,7 @@ func TestGridJSONByteIdentical(t *testing.T) {
 		protocols: []string{"cops", "spanner"},
 		mixes:     []string{"readheavy", "balanced"},
 		clients:   []int{2, 8},
-		txns:      120, pipeline: 1,
+		txns:      []int{120}, pipeline: 1,
 		servers: []int{2}, replication: []int{1},
 		objects: 2, seed: 42, workers: 1,
 	}
@@ -65,7 +65,7 @@ func TestGridWorkersByteIdentical(t *testing.T) {
 		protocols: []string{"cops", "cure"},
 		mixes:     []string{"readheavy"},
 		clients:   []int{8},
-		txns:      120, pipeline: 1,
+		txns:      []int{120}, pipeline: 1,
 		servers: []int{2, 4}, replication: []int{1},
 		objects: 2, seed: 42,
 	}
@@ -107,7 +107,7 @@ func TestGridEngineColumns(t *testing.T) {
 		protocols: []string{"cops"},
 		mixes:     []string{"readheavy"},
 		clients:   []int{8},
-		txns:      120, pipeline: 1,
+		txns:      []int{120}, pipeline: 1,
 		servers: []int{4}, replication: []int{1},
 		objects: 2, seed: 42, workers: 1,
 	}
@@ -151,7 +151,7 @@ func TestGridServerSweep(t *testing.T) {
 		protocols: []string{"cops"},
 		mixes:     []string{"readheavy"},
 		clients:   []int{4},
-		txns:      60, pipeline: 1,
+		txns:      []int{60}, pipeline: 1,
 		servers: []int{2, 4, 8}, replication: []int{1, 4},
 		objects: 1, seed: 7, workers: 2,
 	})
@@ -188,7 +188,7 @@ func TestCertifyGrid(t *testing.T) {
 		protocols: []string{"cops", "naivefast"},
 		mixes:     []string{"balanced"},
 		clients:   []int{8},
-		txns:      96, pipeline: 1,
+		txns:      []int{96}, pipeline: 1,
 		servers: []int{2}, replication: []int{1},
 		objects: 1, seed: 2,
 		certify: true, workers: 1,
@@ -233,6 +233,89 @@ func TestCertifyGrid(t *testing.T) {
 	}
 }
 
+// TestGridTxnsSweepAndStale: -txns is a sweep axis (one full grid pass
+// per count) and -stale adds the deterministic visibility-probe tallies
+// to every row.
+func TestGridTxnsSweepAndStale(t *testing.T) {
+	cfg := gridConfig{
+		protocols: []string{"cops"},
+		mixes:     []string{"balanced"},
+		clients:   []int{4},
+		txns:      []int{60, 120}, pipeline: 1,
+		servers: []int{2}, replication: []int{1},
+		objects: 1, seed: 2, stale: true, workers: 1,
+	}
+	run := func() []row {
+		rows, err := buildGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	rows := run()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want one per -txns count", len(rows))
+	}
+	for i, want := range []int{60, 120} {
+		r := rows[i]
+		if r.Txns != want {
+			t.Fatalf("row %d txns = %d, want %d", i, r.Txns, want)
+		}
+		if r.StaleProbes == 0 {
+			t.Fatalf("row %d carries no staleness probes: %+v", i, r.staleCols)
+		}
+		if r.StaleHits > r.StaleProbes || r.StaleIncomplete > r.StaleProbes {
+			t.Fatalf("row %d staleness tallies exceed probes: %+v", i, r.staleCols)
+		}
+	}
+	if rows[0].Committed >= rows[1].Committed {
+		t.Fatalf("longer cell committed less: %d vs %d", rows[0].Committed, rows[1].Committed)
+	}
+	// The probe tallies are snapshot-deterministic, so the whole grid —
+	// staleness columns included — must stay byte-diffable.
+	requireIdentical(t, "stale grid JSON", encode(t, rows), encode(t, run()))
+}
+
+// TestCurveRefineKnee: -refineknee appends bisection rows after the
+// swept fractions, marked refined with the doubled window in the txns
+// column, without perturbing the swept rows.
+func TestCurveRefineKnee(t *testing.T) {
+	cfg := curveConfig{
+		protocols: []string{"cops"}, mixes: []string{"readheavy"},
+		fractions: []float64{0.1, 1.2}, clients: []int{4}, txns: []int{80},
+		servers: []int{2}, replication: []int{1},
+		objects: 2, seed: 7, workers: 1,
+	}
+	base, err := buildCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.refineKnee = true
+	refined, err := buildCurve(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refined) <= len(base) {
+		t.Fatalf("refinement added no rows: %d vs %d", len(refined), len(base))
+	}
+	for i, r := range base {
+		got := refined[i]
+		// The refined sweep recomputes the knee over all points, so the
+		// knee column may differ; everything else on a swept row must not.
+		got.Knee = r.Knee
+		requireIdentical(t, "swept curve row", encode(t, r), encode(t, got))
+	}
+	for _, r := range refined[len(base):] {
+		if !r.Refined {
+			t.Fatalf("bisection row not marked refined: %+v", r)
+		}
+		if r.Txns != 2*80 {
+			t.Fatalf("bisection row txns = %d, want the doubled window", r.Txns)
+		}
+	}
+}
+
 // TestCurveJSONByteIdentical: same for the open-loop curve grid,
 // including the Poisson arrival stream.
 func TestCurveJSONByteIdentical(t *testing.T) {
@@ -240,7 +323,7 @@ func TestCurveJSONByteIdentical(t *testing.T) {
 		protocols: []string{"cops", "cure"},
 		mixes:     []string{"readheavy"},
 		fractions: []float64{0.1, 0.9},
-		clients:   4, txns: 100,
+		clients:   []int{4}, txns: []int{100},
 		servers: []int{2}, replication: []int{1},
 		objects: 2, seed: 42, workers: 1,
 	}
@@ -259,7 +342,7 @@ func TestCurveJSONByteIdentical(t *testing.T) {
 func TestCurveGridShape(t *testing.T) {
 	rows, err := buildCurve(curveConfig{
 		protocols: []string{"cops"}, mixes: []string{"readheavy"},
-		fractions: []float64{0.25, 1.2}, clients: 4, txns: 80,
+		fractions: []float64{0.25, 1.2}, clients: []int{4}, txns: []int{80},
 		servers: []int{2}, replication: []int{1},
 		objects: 2, seed: 7, uniform: true, workers: 1,
 	})
@@ -294,7 +377,7 @@ func TestGridTopology(t *testing.T) {
 		protocols: []string{"cops"},
 		mixes:     []string{"readheavy"},
 		clients:   []int{8},
-		txns:      120, pipeline: 1,
+		txns:      []int{120}, pipeline: 1,
 		servers: []int{4}, replication: []int{1},
 		topologies: []string{"uniform", "2site"},
 		objects:    2, seed: 42, workers: 1,
@@ -334,7 +417,7 @@ func TestGridTopology(t *testing.T) {
 	requireIdentical(t, "topology grid JSON", encode(t, la), encode(t, grid(base)))
 	if _, err := buildGrid(gridConfig{
 		protocols: []string{"cops"}, mixes: []string{"readheavy"},
-		clients: []int{2}, txns: 10, pipeline: 1,
+		clients: []int{2}, txns: []int{10}, pipeline: 1,
 		servers: []int{2}, replication: []int{1},
 		topologies: []string{"moonbase"}, objects: 1, seed: 1, workers: 1,
 	}); err == nil {

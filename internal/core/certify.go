@@ -28,17 +28,22 @@ type Certification struct {
 	FirstViolation int
 	// IncrementalWall is the cumulative wall-clock the run spent inside
 	// the ride-along session; BatchWall is the wall-clock of re-solving
-	// the full recorded history from scratch. Both are the only
-	// nondeterministic fields of a certified report.
+	// the full recorded history from scratch (zero when the cell runs
+	// past history.MaxTxns and the batch cross-check is skipped — the
+	// streaming session is the only exact checker up there). Both are
+	// the only nondeterministic fields of a certified report.
 	IncrementalWall time.Duration
 	BatchWall       time.Duration
 }
 
-// certifyRun extracts the ride-along verdict from a load run (which must
-// have been driven with both Certify and RecordHistory) and re-checks
-// the recorded history with the batch solver. The incremental and batch
-// verdicts disagreeing means a checker bug, never a measurement: it is
-// returned as an error so no grid can silently publish either verdict.
+// certifyRun extracts the ride-along verdict from a load run and
+// re-checks the recorded history with the batch solver. The incremental
+// and batch verdicts disagreeing means a checker bug, never a
+// measurement: it is returned as an error so no grid can silently
+// publish either verdict. Cells past history.MaxTxns skip the
+// cross-check (the batch solver refuses histories that large; the
+// streaming session's verdict stands alone, differentially validated
+// below the ceiling and by the history package's eviction fuzz).
 func certifyRun(load *driver.Report) (Certification, error) {
 	cert := Certification{
 		Level:           load.CertLevel,
@@ -47,6 +52,9 @@ func certifyRun(load *driver.Report) (Certification, error) {
 		Txns:            load.Cert.Appended,
 		FirstViolation:  load.Cert.FirstViolation,
 		IncrementalWall: load.CertWall,
+	}
+	if load.History == nil || load.History.Len() > history.MaxTxns {
+		return cert, nil
 	}
 	start := time.Now()
 	batch := history.CheckBatch(load.History, load.CertLevel)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/history"
@@ -37,13 +36,49 @@ func TestThroughputCertifyRideAlong(t *testing.T) {
 	}
 }
 
-// TestThroughputCertifyRefusesPastCeiling: the refusal must fire before
-// any run and name the shared ceiling constant.
-func TestThroughputCertifyRefusesPastCeiling(t *testing.T) {
-	_, err := MeasureThroughputWith(ByName("cops"), workload.Balanced(), 4, history.MaxTxns+1, 1,
-		ThroughputOptions{Certify: true})
-	if err == nil || !strings.Contains(err.Error(), "history.MaxTxns") {
-		t.Fatalf("want a refusal naming history.MaxTxns, got %v", err)
+// TestThroughputCertifyPastBatchCeiling: the old up-front refusal at
+// history.MaxTxns is gone — a cell past the batch ceiling certifies via
+// the streaming session, with the batch cross-check (and the recorded
+// history backing it) skipped rather than refusing the run.
+func TestThroughputCertifyPastBatchCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := MeasureThroughputWith(ByName("cops"), workload.ReadHeavy(), 8, history.MaxTxns+64, 5,
+		ThroughputOptions{Servers: 4, ObjectsPerServer: 8, Certify: true})
+	if err != nil {
+		t.Fatalf("certified cell past the ceiling errored: %v", err)
+	}
+	if !rep.Cert.OK || rep.Cert.Txns != history.MaxTxns+64 {
+		t.Fatalf("past-ceiling certification malformed: %+v", rep.Cert)
+	}
+	if rep.Cert.IncrementalWall <= 0 {
+		t.Fatalf("ride-along session reported no wall-clock: %+v", rep.Cert)
+	}
+	if rep.Cert.BatchWall != 0 {
+		t.Fatalf("batch cross-check ran past the ceiling (wall %v)", rep.Cert.BatchWall)
+	}
+}
+
+// TestThroughputStaleness: the staleness probe wiring reaches the core
+// report and stays deterministic.
+func TestThroughputStaleness(t *testing.T) {
+	rep, err := MeasureThroughputWith(ByName("cops"), workload.Balanced(), 8, 200, 5,
+		ThroughputOptions{ProbeStaleness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Staleness
+	if st == nil || st.Probes == 0 {
+		t.Fatalf("staleness tallies missing: %+v", st)
+	}
+	again, err := MeasureThroughputWith(ByName("cops"), workload.Balanced(), 8, 200, 5,
+		ThroughputOptions{ProbeStaleness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again.Staleness != *st {
+		t.Fatalf("staleness tallies nondeterministic: %+v vs %+v", st, again.Staleness)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/driver"
+	"repro/internal/history"
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -42,6 +43,11 @@ type CurvePoint struct {
 	// curve is certified as it runs, same contract as the closed-loop
 	// grid.
 	Cert Certification
+
+	// Refined marks a knee-bisection point (CurveOptions.RefineKnee):
+	// it was not part of the swept fractions and ran with the longer
+	// refinement window.
+	Refined bool
 
 	// Sharding is the deterministic shape of a sharded-stepping point
 	// (CurveOptions.Workers ≥ 1). Nil under the serial engine.
@@ -86,9 +92,25 @@ type CurveOptions struct {
 	// sweep (driver.Config semantics). Nil is the uniform deployment.
 	Topology *protocol.Topology
 	// Certify certifies every curve point ride-along at the protocol's
-	// claimed consistency level (see ThroughputOptions.Certify). Requires
-	// Txns at or below the checker ceiling history.MaxTxns.
+	// claimed consistency level (see ThroughputOptions.Certify): the
+	// streaming session has no transaction ceiling; the batch
+	// cross-check runs for points at or below history.MaxTxns only.
 	Certify bool
+	// RefineKnee bisects the knee after the fraction sweep: between the
+	// highest swept rate still below the queueing/service crossover and
+	// the lowest one past it, extra open-loop points run at the midpoint
+	// rate until the bracket has collapsed (up to kneeRounds rounds).
+	// Refinement points use the longer KneeTxns window — near the
+	// crossover queueing and service percentiles are comparable, so the
+	// short sweep window quantizes the knee to the swept fractions and
+	// its p50s are noisy exactly where the curve bends. Default off: the
+	// swept points and their knee are byte-identical to an unrefined
+	// sweep; refined points are appended after them, marked Refined, and
+	// the reported knee is recomputed over all points.
+	RefineKnee bool
+	// KneeTxns is the transaction count of each refinement point
+	// (default 2×Txns).
+	KneeTxns int
 	// Workers selects the stepping engine for every run of the sweep,
 	// including the closed-loop saturation estimate (see
 	// ThroughputOptions.Workers).
@@ -112,7 +134,14 @@ func (o *CurveOptions) defaults() {
 	if len(o.Fractions) == 0 {
 		o.Fractions = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.1}
 	}
+	if o.KneeTxns <= 0 {
+		o.KneeTxns = 2 * o.Txns
+	}
 }
+
+// kneeRounds bounds the knee bisection: each round halves the bracket,
+// so four rounds pin the knee to ~6% of the swept gap.
+const kneeRounds = 4
 
 // MeasureLoadCurve sweeps offered load from light load to past saturation
 // for one protocol and mix: it first estimates the saturated throughput
@@ -141,38 +170,82 @@ func MeasureLoadCurve(p protocol.Protocol, mix workload.Mix, seed int64, opt Cur
 	}
 	curve.Saturated = sat.Throughput
 
-	for _, frac := range opt.Fractions {
-		rate := frac * curve.Saturated
+	runPoint := func(rate float64, txns int, refined bool) (CurvePoint, error) {
 		rep, err := driver.Run(p, driver.Config{
-			Clients: opt.Clients, Txns: opt.Txns, Mix: mix, Seed: seed,
+			Clients: opt.Clients, Txns: txns, Mix: mix, Seed: seed,
 			Servers: opt.Servers, ObjectsPerServer: opt.ObjectsPerServer,
 			Replication: opt.Replication,
 			Latency:     opt.Latency,
 			Rate:        rate, DeterministicArrivals: opt.Deterministic,
-			RecordHistory: opt.Certify, Certify: opt.Certify,
+			RecordHistory: opt.Certify && txns <= history.MaxTxns, Certify: opt.Certify,
 			Workers: opt.Workers, Barrier: opt.Barrier, Rebalance: opt.Rebalance,
 		})
 		if err != nil {
-			return curve, fmt.Errorf("core: curve point %s at %.0f txn/s: %w", p.Name(), rate, err)
+			return CurvePoint{}, fmt.Errorf("core: curve point %s at %.0f txn/s: %w", p.Name(), rate, err)
 		}
 		pt := CurvePoint{
 			Protocol: p.Name(), Mix: mix,
-			Fraction: frac, Offered: rate, Achieved: rep.Throughput,
+			Fraction: rate / curve.Saturated, Offered: rate, Achieved: rep.Throughput,
 			Committed: rep.Committed, Rejected: rep.Rejected,
 			Incomplete: rep.Incomplete, Events: rep.Events, Duration: rep.Duration,
 			Latency: rep.Latency, QueueDelay: rep.QueueDelay,
 			Service: rep.Service, InFlight: rep.InFlight,
 			Sharding: rep.Sharding,
+			Refined:  refined,
 		}
 		if opt.Certify {
 			if pt.Cert, err = certifyRun(rep); err != nil {
-				return curve, err
+				return CurvePoint{}, err
 			}
 		}
+		return pt, nil
+	}
+
+	for _, frac := range opt.Fractions {
+		pt, err := runPoint(frac*curve.Saturated, opt.Txns, false)
+		if err != nil {
+			return curve, err
+		}
+		pt.Fraction = frac // exact, not re-derived through the division
 		curve.Points = append(curve.Points, pt)
 	}
+
+	// belowKnee is the crossover predicate the knee is defined by:
+	// queueing delay has not yet overtaken service time.
+	belowKnee := func(pt CurvePoint) bool { return pt.QueueDelay.P50 <= pt.Service.P50 }
+
+	if opt.RefineKnee {
+		// Bracket the crossover from the swept points: lo is the highest
+		// below-knee rate, hi the lowest past-knee rate above it. With no
+		// point past the knee there is nothing to bisect; with every
+		// point past it the bracket opens at zero offered load.
+		lo, hi := 0.0, 0.0
+		for _, pt := range curve.Points {
+			if belowKnee(pt) {
+				if pt.Offered > lo {
+					lo = pt.Offered
+				}
+			} else if hi == 0 || pt.Offered < hi {
+				hi = pt.Offered
+			}
+		}
+		for round := 0; round < kneeRounds && hi > lo; round++ {
+			mid := (lo + hi) / 2
+			pt, err := runPoint(mid, opt.KneeTxns, true)
+			if err != nil {
+				return curve, err
+			}
+			curve.Points = append(curve.Points, pt)
+			if belowKnee(pt) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+
 	for _, pt := range curve.Points {
-		if pt.QueueDelay.P50 <= pt.Service.P50 && pt.Offered > curve.Knee {
+		if belowKnee(pt) && pt.Offered > curve.Knee {
 			curve.Knee = pt.Offered
 		}
 	}

@@ -38,10 +38,15 @@ type ThroughputReport struct {
 
 	// Cert is the certification outcome (populated when
 	// ThroughputOptions.Certify was set): the run certified ride-along by
-	// an incremental session as transactions committed, cross-checked by
-	// the batch solver, with both wall-clocks. Cert.Level is empty when
+	// a streaming incremental session as transactions committed,
+	// cross-checked by the batch solver when the cell fits under
+	// history.MaxTxns, with both wall-clocks. Cert.Level is empty when
 	// certification was off.
 	Cert Certification
+
+	// Staleness tallies the frozen visibility probes (nil unless
+	// ThroughputOptions.ProbeStaleness).
+	Staleness *driver.StalenessReport
 
 	// Sharding is the deterministic shape of a sharded-stepping run
 	// (ThroughputOptions.Workers ≥ 1): windows, total vs critical-path
@@ -65,12 +70,18 @@ type ThroughputOptions struct {
 	// uniform deployment.
 	Topology *protocol.Topology
 	// Certify certifies the run ride-along at the protocol's claimed
-	// consistency level: committed transactions feed an incremental
+	// consistency level: committed transactions feed a streaming
 	// history.Session during the run (so full grid cells certify without
 	// a reduced txn count), and the recorded history is re-checked by the
-	// batch solver for the incremental-vs-batch comparison in Cert.
-	// Requires txns at or below the checker ceiling history.MaxTxns.
+	// batch solver for the incremental-vs-batch comparison in Cert. The
+	// batch cross-check only runs for cells at or below history.MaxTxns —
+	// past that ceiling the streaming session is the only exact checker
+	// and Cert.BatchWall stays zero.
 	Certify bool
+	// ProbeStaleness samples visibility staleness during the run
+	// (driver.Config.ProbeStaleness semantics: frozen reads of committed
+	// writes on kernel snapshots); tallies land in Staleness.
+	ProbeStaleness bool
 	// Workers selects the stepping engine (driver.Config.Workers
 	// semantics): 0 the serial scheduler, ≥ 1 sharded stepping with one
 	// shard per server and min(Workers, active shards) goroutines. The
@@ -99,12 +110,6 @@ func MeasureThroughput(p protocol.Protocol, mix workload.Mix, clients, txns int,
 // MeasureThroughputWith is MeasureThroughput with explicit scaling.
 func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns int, seed int64, opt ThroughputOptions) (ThroughputReport, error) {
 	rep := ThroughputReport{Protocol: p.Name(), Mix: mix, Clients: clients}
-	if opt.Certify && txns > history.MaxTxns {
-		// Refuse up front: a capacity refusal from the checker must never
-		// masquerade as a consistency violation in the report.
-		return rep, fmt.Errorf("core: cannot certify %d transactions (checker ceiling history.MaxTxns = %d); lower txns",
-			txns, history.MaxTxns)
-	}
 	load, err := driver.Run(p, driver.Config{
 		Clients:          clients,
 		Pipeline:         opt.Pipeline,
@@ -116,8 +121,9 @@ func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns 
 		Replication:      opt.Replication,
 		Latency:          opt.Latency,
 		Topology:         opt.Topology,
-		RecordHistory:    opt.Certify,
+		RecordHistory:    opt.Certify && txns <= history.MaxTxns,
 		Certify:          opt.Certify,
+		ProbeStaleness:   opt.ProbeStaleness,
 		Workers:          opt.Workers,
 		Barrier:          opt.Barrier,
 		Rebalance:        opt.Rebalance,
@@ -126,6 +132,7 @@ func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns 
 		return rep, err
 	}
 	rep.Sharding = load.Sharding
+	rep.Staleness = load.Staleness
 	if opt.Certify {
 		if rep.Cert, err = certifyRun(load); err != nil {
 			return rep, err

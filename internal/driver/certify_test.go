@@ -1,7 +1,6 @@
 package driver
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/history"
@@ -101,17 +100,106 @@ func TestRideAlongFirstViolationPin(t *testing.T) {
 	}
 }
 
-// TestCertifyRefusesPastCeiling: the driver must refuse up front rather
-// than let a session capacity refusal masquerade as a violation, naming
-// the shared ceiling constant.
-func TestCertifyRefusesPastCeiling(t *testing.T) {
-	_, err := Run(cops.New(), Config{
-		Clients: 4, Txns: history.MaxTxns + 1, Certify: true,
-	})
-	if err == nil {
-		t.Fatalf("run certified %d transactions past the ceiling", history.MaxTxns+1)
+// TestCertifyPastBatchCeiling: the streaming ride-along session lifts
+// the old up-front refusal at history.MaxTxns — a run past the batch
+// ceiling certifies exactly, with committed prefixes of the closure
+// retired as the run proceeds instead of the driver erroring out.
+func TestCertifyPastBatchCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
 	}
-	if !strings.Contains(err.Error(), "history.MaxTxns") {
-		t.Fatalf("refusal does not name the shared ceiling constant: %v", err)
+	// Accepting direction. The cell dilutes contention (32 objects,
+	// read-heavy mix) so the causal session needs no solver fallbacks:
+	// at the causal level the base order is too sparse for eviction to
+	// progress (the documented exactness limit — no real-time edges, so
+	// a future constraint may still order a live transaction before any
+	// unordered old one), and an unretired 4k window with resolves costs
+	// minutes, not seconds.
+	rep, err := Run(cops.New(), Config{
+		Clients: 8, Txns: history.MaxTxns + 64, Mix: workload.ReadHeavy(), Seed: 5,
+		Servers: 4, ObjectsPerServer: 8,
+		Certify: true,
+	})
+	if err != nil {
+		t.Fatalf("driver refused a certified run past the batch ceiling: %v", err)
+	}
+	if rep.Cert == nil || !rep.Cert.OK {
+		t.Fatalf("cops failed certification past the ceiling: %+v", rep.Cert)
+	}
+	if rep.Cert.Appended != rep.Committed || rep.Cert.Appended <= history.MaxTxns {
+		t.Fatalf("session appended %d of %d commits (ceiling %d)",
+			rep.Cert.Appended, rep.Committed, history.MaxTxns)
+	}
+	if rep.Cert.FirstViolation != -1 {
+		t.Fatalf("clean run pins a violation: %+v", rep.Cert)
+	}
+	if rep.Cert.PeakWindow == 0 || rep.Cert.PeakWindow > rep.Cert.Appended {
+		t.Fatalf("peak window %d out of range for %d appends", rep.Cert.PeakWindow, rep.Cert.Appended)
+	}
+
+	// Refuting direction: a violator past the ceiling is still caught
+	// and pinned — the session seals at the first offending commit, so
+	// the cell stays cheap no matter how large Txns is.
+	bad, err := Run(naivefast.New(), Config{
+		Clients: 8, Txns: history.MaxTxns + 64, Mix: workload.Balanced(), Seed: 2,
+		Servers: 2, ObjectsPerServer: 1,
+		Certify: true,
+	})
+	if err != nil {
+		t.Fatalf("driver refused the violating past-ceiling run: %v", err)
+	}
+	if bad.Cert.OK {
+		t.Fatal("naivefast certified clean past the ceiling")
+	}
+	if bad.Cert.FirstViolation < 0 || bad.Cert.FirstViolation >= history.MaxTxns {
+		t.Fatalf("violation not pinned early: %+v", bad.Cert)
+	}
+}
+
+// TestStalenessProbes: with ProbeStaleness set, committed writes are
+// sampled through a frozen reserved reader; the tallies are bounded by
+// the sampling cap, internally consistent, and — because probes run on
+// kernel snapshots — the measured run itself is unchanged and the
+// counts deterministic across repeats.
+func TestStalenessProbes(t *testing.T) {
+	cfg := Config{
+		Clients: 8, Txns: 200, Mix: workload.Balanced(), Seed: 5,
+		ProbeStaleness: true,
+	}
+	rep, err := Run(cops.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Staleness
+	if st == nil || st.Probes == 0 {
+		t.Fatalf("no staleness probes ran: %+v", st)
+	}
+	if st.Probes > probeCap {
+		t.Fatalf("probes %d exceed the cap %d", st.Probes, probeCap)
+	}
+	if st.Stale > st.Probes || st.Incomplete > st.Probes {
+		t.Fatalf("tallies exceed probe count: %+v", st)
+	}
+
+	// The probes must not perturb the measured run: same run without
+	// probing, same schedule.
+	plain := cfg
+	plain.ProbeStaleness = false
+	rep2, err := Run(cops.New(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Committed != rep.Committed || rep2.Events != rep.Events || rep2.Duration != rep.Duration {
+		t.Fatalf("probing changed the run: committed %d/%d events %d/%d duration %d/%d",
+			rep.Committed, rep2.Committed, rep.Events, rep2.Events, rep.Duration, rep2.Duration)
+	}
+
+	// And the tallies themselves are deterministic.
+	rep3, err := Run(cops.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *rep3.Staleness != *st {
+		t.Fatalf("staleness tallies nondeterministic: %+v vs %+v", st, rep3.Staleness)
 	}
 }

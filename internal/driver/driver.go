@@ -105,20 +105,36 @@ type Config struct {
 	// low client counts).
 	MaxEvents int
 	// RecordHistory collects completed transactions into Report.History
-	// for consistency checking. The checkers certify histories up to
-	// history.MaxTxns transactions (accepting and refuting); keep Txns at
-	// or under that ceiling when set.
+	// for consistency checking. The BATCH checkers certify recorded
+	// histories up to history.MaxTxns transactions; past that ceiling the
+	// streaming ride-along session (Certify) is the only exact checker.
 	RecordHistory bool
 	// Certify runs ride-along certification: every committed transaction
-	// is appended, as it is collected, to an incremental history.Session
+	// is appended, as it is collected, to a streaming history.Session
 	// checking the protocol's claimed consistency level, so the full run
 	// is certified without re-solving the history afterwards and a
 	// violation is pinned to its first offending commit while the run is
 	// still in flight. Works in both load regimes, independent of
-	// RecordHistory. The verdict lands in Report.Cert and the cumulative
-	// wall-clock spent inside the session in Report.CertWall. Txns must
-	// stay at or below history.MaxTxns.
+	// RecordHistory. The session retires committed prefixes of its
+	// closure as the run proceeds, so certification memory follows the
+	// active window, not Txns — runs far past history.MaxTxns certify
+	// exactly (that constant still bounds the batch cross-checks
+	// downstream consumers run on recorded histories). The verdict lands
+	// in Report.Cert and the cumulative wall-clock spent inside the
+	// session in Report.CertWall.
 	Certify bool
+	// ProbeStaleness samples visibility staleness while the run executes:
+	// every probeStride-th committed write transaction is re-read through
+	// a reserved frozen reader (protocol.Deployment.VisibleAll) on a
+	// kernel snapshot taken at collection time, asking whether the values
+	// it wrote are already — and still — the frozen-visible state. A
+	// probe counts as stale when some written object returns a different
+	// value (not yet replicated, or already overwritten by a concurrent
+	// writer), and as incomplete when the frozen schedule cannot finish
+	// the read (blocking protocols). Probes run on snapshots only, so the
+	// measured run is untouched and stays deterministic; tallies land in
+	// Report.Staleness.
+	ProbeStaleness bool
 	// KeepTrace retains the full kernel trace and payload registry
 	// instead of running in load mode.
 	KeepTrace bool
@@ -245,17 +261,45 @@ type Report struct {
 	// set): CertLevel is the consistency level checked (the protocol's
 	// claimed level), Cert the incremental session verdict — including
 	// the first offending commit index and minimal witness prefix on
-	// violation — and CertWall the cumulative wall-clock spent inside
+	// violation, plus the Retired/PeakWindow eviction counters — and
+	// CertWall the cumulative wall-clock spent inside
 	// Session.Append/Finish (the one nondeterministic field of a run).
 	CertLevel string
 	Cert      *history.SessionVerdict
 	CertWall  time.Duration
+
+	// Staleness tallies the frozen visibility probes of the run (nil
+	// unless Config.ProbeStaleness).
+	Staleness *StalenessReport
 
 	// Sharding carries the deterministic shape of a sharded run
 	// (Config.Workers ≥ 1): windows executed, per-round critical path and
 	// shard occupancy. Nil under the serial engine.
 	Sharding *sim.ShardingStats
 }
+
+// StalenessReport tallies the outcome of the frozen visibility probes a
+// run samples under Config.ProbeStaleness. Probes is the number of
+// committed write transactions sampled (every probeStride-th, capped at
+// probeCap); Stale counts probes where some written value was not the
+// frozen-visible state of its object — a staleness signal covering both
+// not-yet-replicated and already-overwritten values, not a consistency
+// verdict (that is what Certify is for); Incomplete counts probes the
+// frozen schedule could not finish, the signature of blocking designs.
+type StalenessReport struct {
+	Probes     int
+	Stale      int
+	Incomplete int
+}
+
+// probeStride and probeCap bound the staleness sampling: one probe per
+// probeStride committed writes, at most probeCap probes per run — each
+// probe clones the kernel, so unbounded sampling would dominate long
+// runs.
+const (
+	probeStride = 16
+	probeCap    = 64
+)
 
 func (r *Report) String() string {
 	return fmt.Sprintf("%-12s clients=%d committed=%d/%d thr=%.1f txn/s p50=%d p99=%d",
@@ -338,6 +382,7 @@ func probePlan(p protocol.Protocol, cfg Config) (map[sim.ProcessID]int, error) {
 	pc.plan = nil
 	pc.Certify = false
 	pc.RecordHistory = false
+	pc.ProbeStaleness = false
 	pc.Txns = probeTxns(cfg)
 	d, err := deploy(p, pc)
 	if err != nil {
@@ -510,6 +555,11 @@ type run struct {
 	sess     *history.Session
 	sealed   bool
 	certWall time.Duration
+	// stale accumulates the frozen visibility probes (nil unless
+	// Config.ProbeStaleness and the deployment reserved a reader);
+	// writesSeen drives the sampling stride.
+	stale      *StalenessReport
+	writesSeen int
 }
 
 func newRun(d *protocol.Deployment, cfg Config) *run {
@@ -536,7 +586,19 @@ func newRun(d *protocol.Deployment, cfg Config) *run {
 	}
 	if cfg.Certify {
 		r.rep.CertLevel = d.Proto.Claims().Consistency
-		r.sess = history.NewSession(d.Initials(), r.rep.CertLevel, cfg.Txns)
+		// Streaming session with every workload client declared up front:
+		// eviction may begin before a slow client's first commit is
+		// collected, and an undeclared client arriving after the first
+		// sweep would be refused.
+		names := make([]string, cfg.Clients)
+		for i := 0; i < cfg.Clients; i++ {
+			names[i] = string(d.Clients[i])
+		}
+		r.sess = history.NewStreamingSession(d.Initials(), r.rep.CertLevel, names)
+	}
+	if cfg.ProbeStaleness && len(d.Readers) > 0 {
+		r.stale = &StalenessReport{}
+		r.rep.Staleness = r.stale
 	}
 	return r
 }
@@ -582,6 +644,9 @@ func (r *run) collect() {
 			} else {
 				r.wr.Add(l)
 			}
+			if r.stale != nil && !res.Txn.IsReadOnly() {
+				r.probeStaleness(res)
+			}
 			if r.rep.History != nil || r.sess != nil {
 				rec := history.NewRecord(res)
 				if r.rep.History != nil {
@@ -597,6 +662,29 @@ func (r *run) collect() {
 				}
 			}
 		}
+	}
+}
+
+// probeStaleness samples one committed write transaction: a frozen
+// reader on a kernel snapshot re-reads every object the transaction
+// wrote and the tallies record whether its values are the visible state
+// right now. Runs on clones only — the measured run is untouched.
+func (r *run) probeStaleness(res *model.Result) {
+	r.writesSeen++
+	if r.stale.Probes >= probeCap || (r.writesSeen-1)%probeStride != 0 {
+		return
+	}
+	want := make(map[string]model.Value, len(res.Txn.Writes))
+	for _, w := range res.Txn.Writes {
+		want[w.Object] = w.Value // last write wins, matching the checkers
+	}
+	vis := r.d.VisibleAll(r.d.Readers[0], want, true)
+	r.stale.Probes++
+	if vis.Incomplete {
+		r.stale.Incomplete++
+	}
+	if !vis.Visible {
+		r.stale.Stale++
 	}
 }
 
@@ -655,12 +743,6 @@ func startRun(d *protocol.Deployment, cfg Config) (*run, error) {
 	cfg.defaults()
 	if len(d.Clients) < cfg.Clients {
 		return nil, fmt.Errorf("driver: deployment has %d clients, need %d", len(d.Clients), cfg.Clients)
-	}
-	if cfg.Certify && cfg.Txns > history.MaxTxns {
-		// Refuse up front: a capacity refusal from the session must never
-		// masquerade as a consistency violation in the report.
-		return nil, fmt.Errorf("driver: cannot certify %d transactions (checker ceiling history.MaxTxns = %d); lower Txns",
-			cfg.Txns, history.MaxTxns)
 	}
 	if cfg.Workers <= 0 && cfg.Barrier {
 		return nil, fmt.Errorf("driver: Barrier selects between sharded engines and requires Workers ≥ 1")

@@ -19,6 +19,16 @@ func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
 // has reports whether i is in the set.
 func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
 
+// clear removes i from the set.
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// reset empties the set in place.
+func (b bitset) reset() {
+	for w := range b {
+		b[w] = 0
+	}
+}
+
 // empty reports whether the set has no elements.
 func (b bitset) empty() bool {
 	for _, w := range b {

@@ -22,14 +22,15 @@ func fail(format string, args ...any) Verdict {
 	return Verdict{OK: false, Reason: fmt.Sprintf(format, args...)}
 }
 
-// MaxTxns bounds the constraint-propagation checkers, batch and
-// incremental alike. The limit is a memory/CPU guard, not an algorithmic
-// ceiling: the closures are O(n²) space and ride-along certification is
-// routinely exercised on full 2000-transaction bench cells (see
-// scaling_test.go and session_test.go). It is the single named ceiling
-// every refusal reports — ptest.RunLoad, core.MeasureThroughputWith and
-// the cmd/bench -certify flag all guard against it by name — so sizing a
-// run for certification means staying at or below this constant.
+// MaxTxns bounds the BATCH checkers and bounded sessions (NewSession),
+// whose closures retain the entire history at O(n²) space. It is no
+// longer the ceiling of the incremental path: a streaming session
+// (NewStreamingSession) retires committed prefixes of the closure, so
+// its memory follows the active window and it certifies runs far past
+// this constant. MaxTxns survives as the differential-oracle bound —
+// below it the batch checker cross-checks every streaming verdict
+// (core certifyRun, ptest.RunLoad); above it the streaming session is
+// the only exact checker and the cross-check is skipped.
 const MaxTxns = 4096
 
 // ov keys the writer lookup: (object, value) pairs are unique writers

@@ -1,0 +1,203 @@
+// Copy-on-write closure overlays.
+//
+// The incremental session keeps one serialization state per reading
+// client at the causal level, and every state's forced order is a
+// superset of the single global base order (program order, reads-from,
+// real time). Cloning the base per client — the original representation
+// — made every global edge cost O(clients) full closure updates, the
+// dominant term of the 16-client incremental slowdown. A cowClosure
+// instead SHARES the global closure and keeps only the rows a state's
+// own unit edges have diverged on, as sparse per-row overrides:
+//
+//   - effective succ/pred row of x = override row if present, else the
+//     parent row (the invariant: an override row is always a superset
+//     of its parent row);
+//   - a state with no overrides is represented in O(1) and costs O(1)
+//     per global edge (the parent's own closure pass already updated
+//     every row it can see);
+//   - when the parent gains an edge, applyParentEdge re-closes only the
+//     overridden rows (and copy-on-writes the rare un-overridden row
+//     whose closure now depends on an overridden one).
+//
+// writeThrough marks the aliased total-order state, whose unit edges
+// ARE global facts: it delegates straight to the parent.
+package history
+
+// cowClosure is a transitively closed partial order represented as
+// sparse row overrides over a shared parent closure.
+type cowClosure struct {
+	parent       *orderClosure
+	writeThrough bool
+	dsucc        map[int]bitset
+	dpred        map[int]bitset
+}
+
+func newCowClosure(parent *orderClosure, writeThrough bool) *cowClosure {
+	return &cowClosure{
+		parent:       parent,
+		writeThrough: writeThrough,
+		dsucc:        make(map[int]bitset),
+		dpred:        make(map[int]bitset),
+	}
+}
+
+// succRow returns the effective successor row of x (read-only).
+func (c *cowClosure) succRow(x int) bitset {
+	if row, ok := c.dsucc[x]; ok {
+		return row
+	}
+	return c.parent.succ[x]
+}
+
+// predRow returns the effective predecessor row of x (read-only).
+func (c *cowClosure) predRow(x int) bitset {
+	if row, ok := c.dpred[x]; ok {
+		return row
+	}
+	return c.parent.pred[x]
+}
+
+// has reports whether a is ordered strictly before b.
+func (c *cowClosure) has(a, b int) bool { return c.succRow(a).has(b) }
+
+// diverged reports whether the overlay differs from its parent.
+func (c *cowClosure) diverged() bool { return len(c.dsucc)+len(c.dpred) > 0 }
+
+// addEdge orders a strictly before b and re-closes transitively,
+// copy-on-writing every row the insertion touches. It reports false on
+// conflict (b already ordered before a).
+func (c *cowClosure) addEdge(a, b int) bool {
+	if c.writeThrough {
+		return c.parent.addEdge(a, b)
+	}
+	if a == b {
+		return false
+	}
+	if c.succRow(a).has(b) {
+		return true
+	}
+	if c.succRow(b).has(a) {
+		return false
+	}
+	c.insert(a, b)
+	return true
+}
+
+// insert performs the full closure insertion of edge a→b over the
+// effective rows. Unlike addEdge it does not assume the overlay is
+// currently closed, so applyParentEdge can use it to catch an overlay
+// up after the parent moved ahead; per-row superset checks make it
+// idempotent.
+func (c *cowClosure) insert(a, b int) {
+	// Everything at or before a precedes everything at or after b. The
+	// rows iterated (succ of b, pred of a) are never mutated by the
+	// respective phase: b is not in {a} ∪ pred(a) (that would be the
+	// conflict case) and a is not in {b} ∪ succ(b).
+	after := c.succRow(b)
+	upd := func(x int) {
+		row, ok := c.dsucc[x]
+		if !ok {
+			prow := c.parent.succ[x]
+			if prow.has(b) && prow.containsAll(after) {
+				return
+			}
+			row = prow.clone()
+			c.dsucc[x] = row
+		} else if row.has(b) && row.containsAll(after) {
+			return
+		}
+		row.or(after)
+		row.set(b)
+	}
+	upd(a)
+	c.predRow(a).forEach(upd)
+	before := c.predRow(a)
+	updP := func(y int) {
+		row, ok := c.dpred[y]
+		if !ok {
+			prow := c.parent.pred[y]
+			if prow.has(a) && prow.containsAll(before) {
+				return
+			}
+			row = prow.clone()
+			c.dpred[y] = row
+		} else if row.has(a) && row.containsAll(before) {
+			return
+		}
+		row.or(before)
+		row.set(a)
+	}
+	updP(b)
+	after.forEach(updP)
+}
+
+// applyParentEdge re-establishes the overlay's transitive closure after
+// the parent gained edge a→b (and was itself re-closed). An overlay with
+// no overrides needs nothing: its effective rows ARE the parent's.
+func (c *cowClosure) applyParentEdge(a, b int) {
+	if c.writeThrough || !c.diverged() {
+		return
+	}
+	_, sb := c.dsucc[b]
+	_, pa := c.dpred[a]
+	if !sb && !pa {
+		// succ(b) and pred(a) agree with the parent, so the parent's own
+		// closure pass fully updated every un-overridden row; only the
+		// overridden rows in the affected regions still owe the update.
+		predA := c.predRow(a)
+		after := c.parent.succ[b]
+		for x, row := range c.dsucc {
+			if x == a || predA.has(x) {
+				if !row.has(b) || !row.containsAll(after) {
+					row.or(after)
+					row.set(b)
+				}
+			}
+		}
+		for y, row := range c.dpred {
+			if y == b || after.has(y) {
+				if !row.has(a) || !row.containsAll(predA) {
+					row.or(predA)
+					row.set(a)
+				}
+			}
+		}
+		return
+	}
+	c.insert(a, b)
+}
+
+// materialize builds a dense closure equal to the effective order, for
+// the solver (which owns and mutates its input).
+func (c *cowClosure) materialize() *orderClosure {
+	out := c.parent.clone()
+	for x, row := range c.dsucc {
+		out.succ[x] = row.clone()
+	}
+	for x, row := range c.dpred {
+		out.pred[x] = row.clone()
+	}
+	return out
+}
+
+// growWords widens every override row (the parent grows separately).
+func (c *cowClosure) growWords(words int) {
+	for x, row := range c.dsucc {
+		c.dsucc[x] = row.grow(words)
+	}
+	for x, row := range c.dpred {
+		c.dpred[x] = row.grow(words)
+	}
+}
+
+// retire drops slot t from the overlay: its own override rows are
+// deleted and the bit is cleared from every override pred row. No
+// override succ row can contain t — an edge x→t would contradict t
+// preceding every live transaction, the retirement precondition.
+func (c *cowClosure) retire(t int) {
+	delete(c.dsucc, t)
+	delete(c.dpred, t)
+	for _, row := range c.dpred {
+		row.clear(t)
+	}
+}

@@ -228,3 +228,52 @@ func TestSessionLatchesAfterViolation(t *testing.T) {
 		t.Fatalf("verdict not stable: %+v vs %+v", first, again)
 	}
 }
+
+// TestSessionIncrementalBudget pins the per-client closure cost of the
+// incremental path on a wide full-grid cell: 16 program orders over the
+// default 2000-transaction window. Before the streaming rework the
+// session's per-append closure maintenance blew up with the client
+// count, so the ride-along cost drifted to many multiples of a one-shot
+// batch solve on exactly this shape. The bar: best-of-three incremental
+// wall within 1.5x of one batch wall (the batch solve runs seconds here
+// — repeating it would dominate the suite for a denominator that large).
+// Wall-clock comparisons flake on loaded machines, so the ratio only
+// fails in tandem with an absolute floor — a fast run that overshoots
+// the ratio inside the floor is noise, not a regression.
+func TestSessionIncrementalBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	h := GenSerializable(61, 2000, 16)
+
+	best := func(f func()) time.Duration {
+		min := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); min == 0 || d < min {
+				min = d
+			}
+		}
+		return min
+	}
+
+	start := time.Now()
+	bv := CheckBatch(h, "causal")
+	batch := time.Since(start)
+	if !bv.OK {
+		t.Fatalf("batch refutes the serializable corpus: %s", bv.Reason)
+	}
+	var sv SessionVerdict
+	inc := best(func() { sv = CheckIncremental(h, "causal") })
+	if !sv.OK {
+		t.Fatalf("session refutes the serializable corpus: %s", sv.Reason)
+	}
+
+	const floor = 250 * time.Millisecond
+	if inc > batch*3/2 && inc > floor {
+		t.Fatalf("incremental %v vs batch %v: past 1.5x with the %v floor cleared — "+
+			"the per-client closure cost regressed", inc, batch, floor)
+	}
+	t.Logf("16-client 2000-txn causal: incremental %v, batch %v (resolves=%d)", inc, batch, sv.Resolves)
+}

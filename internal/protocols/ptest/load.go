@@ -52,14 +52,6 @@ func RunLoad(t *testing.T, p protocol.Protocol, e Expect) {
 		// acceptance, so violators no longer need a smaller window.
 		txns = 72
 	}
-	if txns > history.MaxTxns {
-		// Refuse up front: past the shared checker ceiling the driver
-		// refuses to certify (and a capacity refusal must never count as
-		// the expected violation — a vacuous pass with the checker never
-		// actually running). The same named constant backs the cmd/bench
-		// -certify refusal.
-		t.Fatalf("LoadTxns %d exceeds the checker ceiling history.MaxTxns = %d", txns, history.MaxTxns)
-	}
 	srv, ops := e.Servers, e.ObjectsPerServer
 	if srv == 0 {
 		srv = 2
@@ -105,12 +97,27 @@ func RunLoad(t *testing.T, p protocol.Protocol, e Expect) {
 						mode, seed, rep.QueueDelay.N, rep.Committed)
 				}
 				v := *rep.Cert
-				// The ride-along session and the one-shot batch solver must
-				// agree on every sweep of every protocol — this is the
-				// conformance half of the incremental checker's contract.
-				if batch := history.CheckBatch(rep.History, level); batch.OK != v.OK {
-					t.Fatalf("%s-loop run (seed %d): ride-along session says OK=%v (%s), batch says OK=%v (%s)",
-						mode, seed, v.OK, v.Reason, batch.OK, batch.Reason)
+				if rep.History.Len() <= history.MaxTxns {
+					// The ride-along session and the one-shot batch solver
+					// must agree on every sweep of every protocol — the
+					// conformance half of the incremental checker's
+					// contract. (Past history.MaxTxns the batch solver
+					// refuses outright and the streaming session stands
+					// alone; the conformance sweeps stay far below it.)
+					if batch := history.CheckBatch(rep.History, level); batch.OK != v.OK {
+						t.Fatalf("%s-loop run (seed %d): ride-along session says OK=%v (%s), batch says OK=%v (%s)",
+							mode, seed, v.OK, v.Reason, batch.OK, batch.Reason)
+					}
+					// And the evicting ride-along session must match the
+					// non-evicting bounded session verdict for verdict,
+					// first offence included — the eviction sweep may never
+					// change what is accepted, only what is retained.
+					if want := history.CheckIncremental(rep.History, level); want.OK != v.OK ||
+						want.FirstViolation != v.FirstViolation {
+						t.Fatalf("%s-loop run (seed %d): evicting session OK=%v fv=%d (%s); bounded session OK=%v fv=%d (%s)",
+							mode, seed, v.OK, v.FirstViolation, v.Reason,
+							want.OK, want.FirstViolation, want.Reason)
+					}
 				}
 				if !v.OK && e.ViolatesUnderLoad {
 					// A violation must be pinned to its first offending

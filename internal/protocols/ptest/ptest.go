@@ -58,11 +58,12 @@ type Expect struct {
 	// manifest.
 	LoadSeeds []int64
 	// LoadTxns is the transaction count per load run (default 72). The
-	// incremental ride-along session certifies accepting AND refuting
-	// histories up to the shared checker ceiling history.MaxTxns — full
-	// bench-grid-sized windows — so suites are free to sweep long
-	// concurrent windows; violators no longer need a reduced window for
-	// refutation to finish.
+	// streaming ride-along session has no transaction ceiling (it
+	// retires committed prefixes of its closure as the sweep runs), so
+	// suites are free to sweep long concurrent windows; violators no
+	// longer need a reduced window for refutation to finish. Sweeps at
+	// or below history.MaxTxns additionally cross-check the verdict
+	// against the batch solver and the non-evicting bounded session.
 	LoadTxns int
 }
 
