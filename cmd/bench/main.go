@@ -129,6 +129,10 @@ type row struct {
 
 	// Staleness-probe columns (present with -stale only).
 	staleCols
+
+	// Nemesis fault-injection columns (present with -nemesis only; all
+	// omitted on fault-free rows so existing grids stay byte-diffable).
+	nemCols
 }
 
 // shardCols is the sharded-stepping column set (empty under -workers 0).
@@ -222,6 +226,69 @@ func staleCells(r *staleCols, s *driver.StalenessReport) {
 	r.StaleIncomplete = s.Incomplete
 }
 
+// nemCols is the fault-injection column set (present with -nemesis only).
+// nem_faults counts applied faults; nem_unavailable_us the merged virtual
+// time some fault was active; nem_recovery_p50_us the median heal/restart
+// → first-qualifying-commit latency; nem_faulted_committed the commits
+// whose lifetime crossed a fault window. All deterministic: faults are
+// part of the schedule, so -nemesis grids diff byte-identically across
+// worker counts like every other grid.
+type nemCols struct {
+	NemFaults           int   `json:"nem_faults,omitempty"`
+	NemCrashes          int   `json:"nem_crashes,omitempty"`
+	NemPartitions       int   `json:"nem_partitions,omitempty"`
+	NemUnavailableUs    int64 `json:"nem_unavailable_us,omitempty"`
+	NemRecoveries       int   `json:"nem_recoveries,omitempty"`
+	NemUnrecovered      int   `json:"nem_unrecovered,omitempty"`
+	NemRecoveryP50Us    int64 `json:"nem_recovery_p50_us,omitempty"`
+	NemRecoveryMaxUs    int64 `json:"nem_recovery_max_us,omitempty"`
+	NemLostMsgs         int64 `json:"nem_lost_msgs,omitempty"`
+	NemFaultedCommitted int   `json:"nem_faulted_committed,omitempty"`
+	NemFaultedRejected  int   `json:"nem_faulted_rejected,omitempty"`
+	NemFaultedP99Us     int64 `json:"nem_faulted_p99_us,omitempty"`
+}
+
+// nemCells fills the nemesis columns from a run's fault report.
+func nemCells(r *nemCols, n *driver.NemesisReport) {
+	if n == nil {
+		return
+	}
+	r.NemFaults = n.Applied
+	r.NemCrashes = n.Crashes
+	r.NemPartitions = n.Partitions
+	r.NemUnavailableUs = int64(n.UnavailableTime)
+	r.NemRecoveries = n.Recoveries
+	r.NemUnrecovered = n.Unrecovered
+	r.NemRecoveryP50Us = n.RecoveryLatency.P50
+	r.NemRecoveryMaxUs = n.RecoveryLatency.Max
+	r.NemLostMsgs = n.LostMessages
+	r.NemFaultedCommitted = n.FaultedCommitted
+	r.NemFaultedRejected = n.FaultedRejected
+	r.NemFaultedP99Us = n.FaultedLatency.P99
+}
+
+// nemesisByName resolves the -nemesis flag to a named fault schedule.
+// Schedules are sized for the default grid cells (≥ a few hundred txns):
+// faults land well inside the measured phase, downtime is an order of
+// magnitude above the latency ceiling, and everything heals before the
+// run drains.
+func nemesisByName(name string) (*driver.Nemesis, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "crash":
+		return &driver.Nemesis{Crashes: 2, Start: 20_000, Period: 200_000, Duration: 10_000}, nil
+	case "crash-lose":
+		return &driver.Nemesis{Crashes: 1, Lose: true, Start: 20_000, Duration: 10_000}, nil
+	case "partition":
+		return &driver.Nemesis{Partitions: 1, Start: 20_000, Duration: 15_000}, nil
+	case "crash+partition":
+		return &driver.Nemesis{Crashes: 1, Partitions: 1, Start: 20_000, Period: 120_000, Duration: 10_000}, nil
+	default:
+		return nil, fmt.Errorf("unknown nemesis %q (have crash, crash-lose, partition, crash+partition)", name)
+	}
+}
+
 func mixByName(name string) (workload.Mix, error) {
 	switch name {
 	case "readheavy":
@@ -262,6 +329,7 @@ type gridConfig struct {
 	workers     int
 	barrier     bool
 	rebalance   bool
+	nemesis     string
 }
 
 // buildGrid measures every protocol × mix × servers × replication ×
@@ -270,6 +338,10 @@ type gridConfig struct {
 func buildGrid(cfg gridConfig) ([]row, error) {
 	if len(cfg.topologies) == 0 {
 		cfg.topologies = []string{"uniform"} // the pre-topology default
+	}
+	nem, err := nemesisByName(cfg.nemesis)
+	if err != nil {
+		return nil, err
 	}
 	rows := []row{}
 	for _, name := range cfg.protocols {
@@ -307,6 +379,7 @@ func buildGrid(cfg gridConfig) ([]row, error) {
 									Workers:          cfg.workers,
 									Barrier:          cfg.barrier,
 									Rebalance:        cfg.rebalance,
+									Nemesis:          nem,
 								})
 								if err != nil {
 									return nil, err
@@ -346,6 +419,7 @@ func buildGrid(cfg gridConfig) ([]row, error) {
 									certCells(&r.certCols, rep.Cert)
 								}
 								staleCells(&r.staleCols, rep.Staleness)
+								nemCells(&r.nemCols, rep.Nemesis)
 								rows = append(rows, r)
 							}
 						}
@@ -403,6 +477,13 @@ func main() {
 			"reserved-reader visibility probe and add stale_probes/stale_hits/"+
 			"stale_incomplete columns (deterministic: probes run on kernel "+
 			"snapshots between events and never perturb the run)")
+	nemesis := flag.String("nemesis", "",
+		"closed-loop grid only: inject a deterministic fault schedule into "+
+			"every cell (crash, crash-lose, partition, crash+partition) and add "+
+			"nem_* columns — applied faults, unavailability, recovery latency, "+
+			"degraded-phase counts. The schedule is a pure function of the seed "+
+			"and cell config, so -nemesis grids stay byte-diffable across "+
+			"worker counts; fault-free rows omit the columns entirely")
 	refineKnee := flag.Bool("refineknee", false,
 		"curve mode: after the -fractions sweep, bisect the queueing/service "+
 			"crossover with longer-window open-loop points (rows marked "+
@@ -444,6 +525,9 @@ func main() {
 
 	var out any
 	if *curve {
+		if *nemesis != "" {
+			fail(fmt.Errorf("-nemesis is closed-loop-grid only (fault windows would confound the open-loop latency curve)"))
+		}
 		fracs, err := parseFloats(*fractions)
 		if err != nil {
 			fail(err)
@@ -483,6 +567,7 @@ func main() {
 			certify: *certify, stale: *stale,
 			workers: *workers,
 			barrier: *barrier, rebalance: *rebalance,
+			nemesis: *nemesis,
 		})
 		if err != nil {
 			fail(err)

@@ -424,3 +424,138 @@ func TestGridTopology(t *testing.T) {
 		t.Fatal("unknown topology accepted")
 	}
 }
+
+// TestGridNemesisAcceptance is the bench-level acceptance pair of the
+// fault layer: a certified 2000-txn cops cell with mid-run server
+// crash+restart, and a 2-site cure cell with a cross-site partition+heal.
+// Both must carry nonzero recovery-latency and unavailability columns and
+// emit byte-identical JSON with Workers=1 and Workers=4 on both sharded
+// engines. (cure's documented visibility fracture may surface under the
+// partition's reshuffled delivery — then the cell must pin the first
+// offending commit instead of certifying clean.)
+func TestGridNemesisAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long acceptance cells")
+	}
+	cells := []struct {
+		name string
+		cfg  gridConfig
+	}{
+		{"cops-crash", gridConfig{
+			protocols: []string{"cops"}, mixes: []string{"balanced"},
+			clients: []int{8}, txns: []int{2000}, pipeline: 1,
+			servers: []int{4}, replication: []int{1},
+			objects: 2, seed: 11, certify: true, nemesis: "crash",
+		}},
+		{"cure-2site-partition", gridConfig{
+			protocols: []string{"cure"}, mixes: []string{"balanced"},
+			clients: []int{8}, txns: []int{400}, pipeline: 1,
+			servers: []int{4}, replication: []int{1},
+			topologies: []string{"2site"},
+			objects:    2, seed: 11, certify: true, nemesis: "partition",
+		}},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			t.Parallel()
+			for _, eng := range []struct {
+				name    string
+				barrier bool
+			}{{"lookahead", false}, {"barrier", true}} {
+				eng := eng
+				t.Run(eng.name, func(t *testing.T) {
+					t.Parallel()
+					run := func(workers int) []row {
+						cfg := cell.cfg
+						cfg.workers = workers
+						cfg.barrier = eng.barrier
+						rows, err := buildGrid(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(rows) != 1 {
+							t.Fatalf("rows = %d, want 1", len(rows))
+						}
+						return rows
+					}
+					rows := run(1)
+					r := rows[0]
+					if r.Incomplete != 0 {
+						t.Fatalf("%d transactions incomplete after heal", r.Incomplete)
+					}
+					if r.NemFaults == 0 || r.NemUnavailableUs <= 0 {
+						t.Fatalf("fault columns empty: %+v", r.nemCols)
+					}
+					if r.NemRecoveries == 0 || r.NemRecoveryP50Us <= 0 {
+						t.Fatalf("no recovery latency measured: %+v", r.nemCols)
+					}
+					if r.NemFaultedCommitted == 0 {
+						t.Fatalf("no commits crossed the fault window: %+v", r.nemCols)
+					}
+					if r.NemLostMsgs != 0 {
+						t.Fatalf("persistent faults lost %d messages", r.NemLostMsgs)
+					}
+					switch r.Cert {
+					case "ok":
+						// Certified clean across the fault.
+					case "violation":
+						if r.FirstViolationTxn == nil || *r.FirstViolationTxn < 0 {
+							t.Fatalf("violating cell without a pinned first commit: %+v", r.certCols)
+						}
+						t.Logf("documented fracture pinned at commit %d (%s)",
+							*r.FirstViolationTxn, r.CertReason)
+					default:
+						t.Fatalf("certification did not run: %+v", r.certCols)
+					}
+					// Worker-count byte-identity (wall-clocks are the one
+					// nondeterministic column set).
+					again := run(4)
+					a, b := rows[0], again[0]
+					a.CertWallMS, b.CertWallMS = 0, 0
+					a.CertBatchWallMS, b.CertBatchWallMS = 0, 0
+					requireIdentical(t, eng.name+" nemesis cell", encode(t, a), encode(t, b))
+				})
+			}
+		})
+	}
+}
+
+// TestGridNemesisDeterministicAndGated: same flags → byte-identical
+// nemesis grids (the bench determinism contract extends to faulted
+// cells); fault-free grids omit every nem_* column; unknown schedule
+// names and -nemesis under -curve are refused.
+func TestGridNemesisDeterministicAndGated(t *testing.T) {
+	cfg := gridConfig{
+		protocols: []string{"cops"}, mixes: []string{"balanced"},
+		clients: []int{8}, txns: []int{150}, pipeline: 1,
+		servers: []int{2}, replication: []int{1},
+		objects: 2, seed: 5, workers: 1, nemesis: "crash+partition",
+	}
+	run := func() string {
+		rows, err := buildGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows[0].NemCrashes == 0 || rows[0].NemPartitions == 0 {
+			t.Fatalf("crash+partition cell missing fault kinds: %+v", rows[0].nemCols)
+		}
+		return encode(t, rows)
+	}
+	requireIdentical(t, "nemesis grid JSON", run(), run())
+
+	plain := cfg
+	plain.nemesis = ""
+	rows, err := buildGrid(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].nemCols != (nemCols{}) {
+		t.Fatalf("fault-free row carries nemesis columns: %+v", rows[0].nemCols)
+	}
+	bad := cfg
+	bad.nemesis = "meteor"
+	if _, err := buildGrid(bad); err == nil {
+		t.Fatal("unknown nemesis schedule accepted")
+	}
+}

@@ -52,6 +52,11 @@ type ThroughputReport struct {
 	// (ThroughputOptions.Workers ≥ 1): windows, total vs critical-path
 	// events, shard occupancy. Nil under the serial engine.
 	Sharding *sim.ShardingStats
+
+	// Nemesis is the fault-injection outcome (nil on fault-free runs):
+	// applied fault counts, unavailability, recovery latency and the
+	// degraded-phase transaction slice (driver.NemesisReport semantics).
+	Nemesis *driver.NemesisReport
 }
 
 // ThroughputOptions scales a throughput run.
@@ -98,6 +103,11 @@ type ThroughputOptions struct {
 	// measured run (driver.Config.Rebalance semantics). Requires
 	// Workers ≥ 1; the chosen partition lands in Sharding.Partition.
 	Rebalance bool
+	// Nemesis schedules deterministic fault injection into the measured
+	// phase (driver.Config.Nemesis semantics): seeded crash/restart and
+	// partition/heal cycles, byte-identical at every worker count. Nil
+	// runs fault-free.
+	Nemesis *driver.Nemesis
 }
 
 // MeasureThroughput runs txns transactions of the mix over the given
@@ -127,12 +137,14 @@ func MeasureThroughputWith(p protocol.Protocol, mix workload.Mix, clients, txns 
 		Workers:          opt.Workers,
 		Barrier:          opt.Barrier,
 		Rebalance:        opt.Rebalance,
+		Nemesis:          opt.Nemesis,
 	})
 	if err != nil {
 		return rep, err
 	}
 	rep.Sharding = load.Sharding
 	rep.Staleness = load.Staleness
+	rep.Nemesis = load.Nemesis
 	if opt.Certify {
 		if rep.Cert, err = certifyRun(load); err != nil {
 			return rep, err

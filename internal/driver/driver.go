@@ -173,6 +173,15 @@ type Config struct {
 	// only). Kept for comparison runs: the barrier pays a global round
 	// every latency-floor window, which is exactly what lookahead removes.
 	Barrier bool
+	// Nemesis schedules deterministic fault injection — server
+	// crash/restart cycles and link partitions at fixed virtual instants —
+	// into the measured phase (never into initialization). The schedule is
+	// a pure function of Seed and the Nemesis configuration, so faulted
+	// runs keep every determinism guarantee: same engine + same worker
+	// partition ⇒ byte-identical report at any Workers count. Nil runs
+	// fault-free (and byte-identical to runs before the nemesis layer
+	// existed).
+	Nemesis *Nemesis
 	// Rebalance replaces the static client→shard striping with a measured
 	// one (Workers ≥ 1, driver.Run only): a short probe run on a separate
 	// deployment counts events per process, then clients are assigned
@@ -272,6 +281,12 @@ type Report struct {
 	// unless Config.ProbeStaleness).
 	Staleness *StalenessReport
 
+	// Nemesis is the fault-injection outcome (nil on fault-free runs, so
+	// existing report serializations stay byte-diffable): applied fault
+	// counts, unavailability, recovery latency and the degraded-phase
+	// transaction slice.
+	Nemesis *NemesisReport
+
 	// Sharding carries the deterministic shape of a sharded run
 	// (Config.Workers ≥ 1): windows executed, per-round critical path and
 	// shard occupancy. Nil under the serial engine.
@@ -286,10 +301,19 @@ type Report struct {
 // not-yet-replicated and already-overwritten values, not a consistency
 // verdict (that is what Certify is for); Incomplete counts probes the
 // frozen schedule could not finish, the signature of blocking designs.
+// The Faulted* fields split out the probes sampled while a nemesis fault
+// window was open (always 0 on fault-free runs): an active partition is
+// expected to drive FaultedStale up — values commit at the writer's side
+// but cannot replicate — and the ratio recovering after heal is the
+// staleness signature of a partition.
 type StalenessReport struct {
 	Probes     int
 	Stale      int
 	Incomplete int
+
+	FaultedProbes     int `json:",omitempty"`
+	FaultedStale      int `json:",omitempty"`
+	FaultedIncomplete int `json:",omitempty"`
 }
 
 // probeStride and probeCap bound the staleness sampling: one probe per
@@ -383,6 +407,7 @@ func probePlan(p protocol.Protocol, cfg Config) (map[sim.ProcessID]int, error) {
 	pc.Certify = false
 	pc.RecordHistory = false
 	pc.ProbeStaleness = false
+	pc.Nemesis = nil // the probe measures the healthy load profile
 	pc.Txns = probeTxns(cfg)
 	d, err := deploy(p, pc)
 	if err != nil {
@@ -560,6 +585,12 @@ type run struct {
 	// writesSeen drives the sampling stride.
 	stale      *StalenessReport
 	writesSeen int
+	// nem threads the armed fault schedule through the run (nil unless
+	// Config.Nemesis); injHorizon is the open-loop injection horizon the
+	// fault-aware engineRun folds into its segment bounds (0 in closed
+	// loop and while draining).
+	nem        *nemesisState
+	injHorizon sim.Time
 }
 
 func newRun(d *protocol.Deployment, cfg Config) *run {
@@ -621,6 +652,9 @@ func (r *run) collect() {
 					inject, open = at, true
 					delete(r.injectAt, res.Txn.ID)
 				}
+			}
+			if r.nem != nil {
+				r.nem.observe(res, r.d.Place)
 			}
 			if !res.OK() {
 				r.rep.Rejected++
@@ -686,6 +720,16 @@ func (r *run) probeStaleness(res *model.Result) {
 	if !vis.Visible {
 		r.stale.Stale++
 	}
+	if r.nem != nil && r.nem.active > 0 {
+		// Sampled inside an open fault window: the degraded-phase slice.
+		r.stale.FaultedProbes++
+		if vis.Incomplete {
+			r.stale.FaultedIncomplete++
+		}
+		if !vis.Visible {
+			r.stale.FaultedStale++
+		}
+	}
 }
 
 // finish summarizes the run into the report.
@@ -720,6 +764,9 @@ func (r *run) finish(start sim.Time) *Report {
 		st := r.runner.Stats()
 		st.Rebalanced = r.cfg.plan != nil
 		rep.Sharding = &st
+	}
+	if r.nem != nil {
+		rep.Nemesis = r.nem.finish(r.d.Kernel, start)
 	}
 	return rep
 }
@@ -774,6 +821,13 @@ func startRun(d *protocol.Deployment, cfg Config) (*run, error) {
 		}
 		r.runner = runner
 		r.eng = &shardedEngine{r: runner}
+	}
+	if cfg.Nemesis != nil {
+		faults, err := cfg.Nemesis.build(d, cfg.Seed, d.Kernel.Now())
+		if err != nil {
+			return nil, err
+		}
+		r.nem = newNemesisState(faults)
 	}
 	return r, nil
 }
@@ -841,7 +895,7 @@ func (r *run) runClosed() (*Report, error) {
 	start := d.Kernel.Now()
 	for {
 		refill()
-		n := r.eng.run(func(*sim.Kernel) bool { return needRefill() }, cfg.MaxEvents-rep.Events)
+		n := r.engineRun(func(*sim.Kernel) bool { return needRefill() }, cfg.MaxEvents-rep.Events)
 		rep.Events += n
 		r.collect()
 		if needRefill() && rep.Events < cfg.MaxEvents {
@@ -886,9 +940,10 @@ func (r *run) runOpen() (*Report, error) {
 
 	for injected := 0; injected < cfg.Txns && rep.Events < cfg.MaxEvents; injected++ {
 		at := arr.Next()
-		// Run everything scheduled strictly before the arrival.
-		r.eng.setHorizon(at)
-		rep.Events += r.eng.run(nil, cfg.MaxEvents-rep.Events)
+		// Run everything scheduled strictly before the arrival (faults
+		// due before it included, via the fault-aware dispatch).
+		r.injHorizon = at
+		rep.Events += r.engineRun(nil, cfg.MaxEvents-rep.Events)
 		r.collect()
 		d.Kernel.AdvanceTo(at)
 		i := injected % cfg.Clients
@@ -908,8 +963,8 @@ func (r *run) runOpen() (*Report, error) {
 		inFlight.Add(int64(depth))
 	}
 	// Drain: no more arrivals, run until every client is idle.
-	r.eng.setHorizon(0)
-	rep.Events += r.eng.run(nil, cfg.MaxEvents-rep.Events)
+	r.injHorizon = 0
+	rep.Events += r.engineRun(nil, cfg.MaxEvents-rep.Events)
 	r.collect()
 	r.rep.InFlight = inFlight.Summarize()
 	return r.finish(start), nil

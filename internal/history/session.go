@@ -156,6 +156,10 @@ type clientState struct {
 	// conflict marks a state whose model could not absorb this Append's
 	// constraints: a full solver search is owed at the end of Append.
 	conflict bool
+	// hint is the model the conflict invalidated, retained until the
+	// owed re-solve warm-starts its branch polarity from it (the old
+	// model is usually one flip from a satisfying order).
+	hint *orderClosure
 	// clauses is the retained anti-dependency clause set, slot-indexed.
 	// Clauses satisfied by base are pruned lazily at re-solves and
 	// eviction sweeps.
@@ -802,6 +806,7 @@ func (s *Session) forceGlobal(cur, a, b int) bool {
 			if st.shared {
 				st.shared = false
 				st.model = nil
+				st.hint = s.model
 				st.conflict = true
 			}
 		}
@@ -815,6 +820,7 @@ func (s *Session) forceGlobal(cur, a, b int) bool {
 			st.base.applyParentEdge(sa, sb)
 		}
 		if !st.shared && st.model != nil && !st.model.addEdge(sa, sb) {
+			st.hint = st.model
 			st.model = nil
 			st.conflict = true
 		}
@@ -851,9 +857,11 @@ func (s *Session) forceIn(cur int, st *clientState, a, b int) bool {
 			// valid for everyone else.
 			st.shared = false
 			st.model = nil
+			st.hint = s.model
 			st.conflict = true
 		}
 	} else if st.model != nil && !st.model.addEdge(sa, sb) {
+		st.hint = st.model
 		st.model = nil
 		st.conflict = true
 	}
@@ -1019,7 +1027,7 @@ func (s *Session) ghostCheck(st *clientState, bi int32) bool {
 	if len(clauses) == 0 {
 		return true
 	}
-	_, ok = newClauseSolver(c, clauses).solveClosure()
+	_, ok = newClauseSolver(c, clauses, nil).solveClosure()
 	return ok
 }
 
@@ -1105,6 +1113,7 @@ func (s *Session) addClause(st *clientState, c clause) {
 	} else {
 		st.model = nil
 	}
+	st.hint = m
 	st.conflict = true
 }
 
@@ -1182,7 +1191,9 @@ func (s *Session) resolve(cur int, st *clientState) bool {
 	}
 	st.clauses = live
 	s.resolves++
-	m, found := newClauseSolver(st.base.materialize(), st.clauses).solveClosure()
+	hint := st.hint
+	st.hint = nil
+	m, found := newClauseSolver(st.base.materialize(), st.clauses, hint).solveClosure()
 	if !found {
 		return s.violate(cur, s.ids[cur], "%s", s.noSerialization(st.client))
 	}
@@ -1518,7 +1529,7 @@ func (s *Session) appendBatchWitness(out []model.TxnID, bi int32, st *clientStat
 		return out
 	}
 	if clauses := st.ghostClauses[bi]; len(clauses) > 0 {
-		if m, found := newClauseSolver(c, clauses).solveClosure(); found {
+		if m, found := newClauseSolver(c, clauses, nil).solveClosure(); found {
 			c = m
 		}
 	}

@@ -164,6 +164,16 @@ type solver struct {
 	// impossible (a transaction reading its own write: reads precede
 	// writes, so no placement is ever legal).
 	unsat bool
+	// bigHint is an optional previously satisfying order (the session's
+	// last model): at each branch the search tries the disjunct that
+	// order satisfied first. A model invalidated by one new constraint is
+	// usually one flip away from a satisfying order, so the warm-started
+	// descent commits the surviving guesses without backtracking instead
+	// of re-deriving them clause by clause. Soundness and completeness
+	// are untouched — the hint only permutes branch order.
+	bigHint *orderClosure
+	// hint is bigHint projected to the sub-solver's dense index space.
+	hint []bitset
 }
 
 // newSolver builds the clause set for the txns in checkSet (nil: all
@@ -262,9 +272,11 @@ func (s *solver) key() string {
 
 // newClauseSolver builds a solver over a pre-built clause set, for the
 // incremental session, which constructs clauses itself as transactions
-// commit. The closure is owned by the solver afterwards.
-func newClauseSolver(order *orderClosure, clauses []clause) *solver {
-	return &solver{order: order, clauses: clauses, failed: make(map[string]struct{})}
+// commit. The closure is owned by the solver afterwards; hint, when
+// non-nil, is a previously satisfying order in the same index space used
+// to warm-start branch polarity (see solver.bigHint).
+func newClauseSolver(order *orderClosure, clauses []clause, hint *orderClosure) *solver {
+	return &solver{order: order, clauses: clauses, failed: make(map[string]struct{}), bigHint: hint}
 }
 
 // solve runs the search and, on success, returns the deterministic
@@ -273,7 +285,7 @@ func (s *solver) solve() ([]int, bool) {
 	if s.unsat {
 		return nil, false
 	}
-	if !s.search() {
+	if !s.run() {
 		return nil, false
 	}
 	return extendClosure(s.order), true
@@ -282,13 +294,149 @@ func (s *solver) solve() ([]int, bool) {
 // solveClosure runs the search and, on success, returns the satisfying
 // partial order itself (for the session's retained model).
 func (s *solver) solveClosure() (*orderClosure, bool) {
-	if s.unsat || !s.search() {
+	if s.unsat || !s.run() {
 		return nil, false
 	}
 	return s.order, true
 }
 
+// run solves the clause set by projecting the search onto the
+// clause-involved transactions and replaying the winning disjunct edges
+// onto the full closure. The projection is exact: every test the search
+// performs — clause satisfied/dead, addEdge cycle detection — queries
+// ordering bits between clause endpoints only, and under a transitively
+// closed order a new involved pair x → y appears after addEdge(a, b)
+// exactly when x ⪯ a and b ⪯ y, which is again an involved-pair
+// predicate. So the restricted relation evolves autonomously and the
+// branch-and-propagate search runs unchanged on a K-node closure, with
+// per-node clone and memoization cost O(K²) instead of O(n²) — the
+// difference between streaming certification staying incremental at
+// thousands of committed transactions and grinding on whole-history
+// clones whenever a handful of recent commits are mutually undecided.
+func (s *solver) run() bool {
+	if len(s.clauses) == 0 {
+		return true
+	}
+	// Map the clause-involved transactions to a dense [0, K) index space,
+	// in first-appearance order so branching stays deterministic.
+	toSmall := make(map[int]int)
+	var nodes []int
+	add := func(x int) {
+		if _, ok := toSmall[x]; !ok {
+			toSmall[x] = len(nodes)
+			nodes = append(nodes, x)
+		}
+	}
+	for _, c := range s.clauses {
+		add(c.a1)
+		add(c.b1)
+		add(c.a2)
+		add(c.b2)
+	}
+	k := len(nodes)
+	small := &orderClosure{succ: make([]bitset, k), pred: make([]bitset, k)}
+	for i := 0; i < k; i++ {
+		small.succ[i] = newBitset(k)
+		small.pred[i] = newBitset(k)
+	}
+	for i, bi := range nodes {
+		for j, bj := range nodes {
+			if i != j && s.order.succ[bi].has(bj) {
+				small.succ[i].set(j)
+				small.pred[j].set(i)
+			}
+		}
+	}
+	sc := make([]clause, len(s.clauses))
+	for i, c := range s.clauses {
+		sc[i] = clause{toSmall[c.a1], toSmall[c.b1], toSmall[c.a2], toSmall[c.b2]}
+	}
+	sub := &solver{order: small, clauses: sc, failed: make(map[string]struct{})}
+	if h := s.bigHint; h != nil {
+		sub.hint = make([]bitset, k)
+		for i, bi := range nodes {
+			sub.hint[i] = newBitset(k)
+			if bi >= len(h.succ) {
+				continue // appended after the hint model was solved
+			}
+			row := h.succ[bi]
+			for j, bj := range nodes {
+				if bj>>6 < len(row) && row.has(bj) {
+					sub.hint[i].set(j)
+				}
+			}
+		}
+	}
+	if !sub.search() {
+		return false
+	}
+	// Replay one satisfied disjunct per clause onto the full closure. Each
+	// replayed pair holds in the satisfying small order, so the closure of
+	// base ∪ replay is a subrelation of it — acyclic, every addEdge
+	// succeeds, and every clause is satisfied by its chosen edge.
+	for i, c := range sc {
+		big := s.clauses[i]
+		if small.succ[c.a1].has(c.b1) {
+			if !s.order.addEdge(big.a1, big.b1) {
+				return false // unreachable: pair holds in the small order
+			}
+		} else if !s.order.addEdge(big.a2, big.b2) {
+			return false // unreachable
+		}
+	}
+	return true
+}
+
+// search finds an extension of s.order satisfying every clause, or
+// reports that none exists. It first runs a clone-free optimistic
+// descent committing one disjunct per undecided clause (hint polarity
+// first); only when that descent dead-ends does it restore the single
+// entry snapshot and run the complete branch-and-memoize search. The
+// happy path — a warm-started re-solve whose hint survives — costs no
+// per-node clones or memo keys at all.
 func (s *solver) search() bool {
+	if !s.propagate() {
+		return false
+	}
+	snap := s.order.clone()
+	if s.descend() {
+		return true
+	}
+	s.order.copyFrom(snap)
+	return s.searchFull()
+}
+
+// descend greedily commits clauses in order without backtracking: the
+// preferred disjunct (hint polarity) first, its sibling when the
+// preferred edge cycles immediately. False means only that the greedy
+// path dead-ended, not that the instance is unsatisfiable.
+func (s *solver) descend() bool {
+	for {
+		if !s.propagate() {
+			return false
+		}
+		pick := -1
+		for i, c := range s.clauses {
+			if !s.order.succ[c.a1].has(c.b1) && !s.order.succ[c.a2].has(c.b2) {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			return true
+		}
+		c := s.clauses[pick]
+		x1, y1, x2, y2 := c.a1, c.b1, c.a2, c.b2
+		if s.hint != nil && !s.hint[c.a1].has(c.b1) && s.hint[c.a2].has(c.b2) {
+			x1, y1, x2, y2 = c.a2, c.b2, c.a1, c.b1
+		}
+		if !s.order.addEdge(x1, y1) && !s.order.addEdge(x2, y2) {
+			return false
+		}
+	}
+}
+
+func (s *solver) searchFull() bool {
 	if !s.propagate() {
 		return false
 	}
@@ -307,12 +455,18 @@ func (s *solver) search() bool {
 		return false
 	}
 	c := s.clauses[pick]
+	// Branch polarity: follow the warm-start hint when it decided this
+	// pair, otherwise first disjunct first (the deterministic default).
+	x1, y1, x2, y2 := c.a1, c.b1, c.a2, c.b2
+	if s.hint != nil && !s.hint[c.a1].has(c.b1) && s.hint[c.a2].has(c.b2) {
+		x1, y1, x2, y2 = c.a2, c.b2, c.a1, c.b1
+	}
 	saved := s.order.clone()
-	if s.order.addEdge(c.a1, c.b1) && s.search() {
+	if s.order.addEdge(x1, y1) && s.searchFull() {
 		return true
 	}
 	s.order.copyFrom(saved)
-	if s.order.addEdge(c.a2, c.b2) && s.search() {
+	if s.order.addEdge(x2, y2) && s.searchFull() {
 		return true
 	}
 	s.order.copyFrom(saved)

@@ -96,22 +96,47 @@ func Deploy(p Protocol, cfg Config) *Deployment {
 		k.SetLatencyFloor(cfg.LatencyFloor)
 	}
 	d := &Deployment{Kernel: k, Proto: p, Place: pl, Topo: topo}
+	// Recovery hooks for lossy crashes (nemesis layer): a process that
+	// implements sim.Recoverable rebuilds its own durable state; otherwise
+	// a lossy restart yields a factory-fresh replacement — all volatile
+	// state gone, exactly the fault model of an unreplicated in-memory
+	// store.
+	recoverServer := func(sid sim.ProcessID) func(sim.Process) sim.Process {
+		return func(old sim.Process) sim.Process {
+			if r, ok := old.(sim.Recoverable); ok {
+				return r.Recover()
+			}
+			return p.NewServer(sid, pl)
+		}
+	}
+	recoverClient := func(id sim.ProcessID) func(sim.Process) sim.Process {
+		return func(old sim.Process) sim.Process {
+			if r, ok := old.(sim.Recoverable); ok {
+				return r.Recover()
+			}
+			return p.NewClient(id, pl)
+		}
+	}
 	for _, sid := range pl.Servers() {
 		k.Add(p.NewServer(sid, pl))
+		k.SetRecovery(sid, recoverServer(sid))
 	}
 	for i := 0; i < cfg.Clients; i++ {
 		id := sim.ProcessID(fmt.Sprintf("c%d", i))
 		k.Add(p.NewClient(id, pl))
+		k.SetRecovery(id, recoverClient(id))
 		d.Clients = append(d.Clients, id)
 	}
 	for i := 0; i < cfg.Readers; i++ {
 		id := sim.ProcessID(fmt.Sprintf("r%d", i))
 		k.Add(p.NewClient(id, pl))
+		k.SetRecovery(id, recoverClient(id))
 		d.Readers = append(d.Readers, id)
 	}
 	for i := range pl.Objects() {
 		id := sim.ProcessID(fmt.Sprintf("cin%d", i))
 		k.Add(p.NewClient(id, pl))
+		k.SetRecovery(id, recoverClient(id))
 		d.Inits = append(d.Inits, id)
 	}
 	if topo != nil {

@@ -37,7 +37,10 @@ func (d *Deployment) Probe(reader sim.ProcessID, objs []string, order []sim.Proc
 	budget := ProbeBudget
 	spend := func(n int) bool { budget -= n; return budget > 0 }
 
-	// Frozen phase: reader and per-order server service only.
+	// Frozen phase: reader and per-order server service only. Servers
+	// downed by a nemesis fault are skipped — the probe simply observes
+	// whatever the surviving servers answer (or blocks, if the protocol
+	// needs the crashed participant).
 	for rounds := 0; rounds < 8 && cl.Busy(); rounds++ {
 		progress := false
 		if len(k.Inbox(reader)) > 0 || k.Process(reader).Ready() {
@@ -45,6 +48,9 @@ func (d *Deployment) Probe(reader sim.ProcessID, objs []string, order []sim.Proc
 			progress = true
 		}
 		for _, s := range order {
+			if k.Down(s) {
+				continue
+			}
 			for _, m := range k.InTransitOn(sim.Link{From: reader, To: s}) {
 				k.Deliver(m.ID)
 				progress = true

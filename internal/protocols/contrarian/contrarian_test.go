@@ -52,3 +52,10 @@ func TestSnapshotCoversCausalPast(t *testing.T) {
 func TestLoadConformance(t *testing.T) {
 	ptest.RunLoad(t, contrarian.New(), ptest.Expect{LoadTxns: 96})
 }
+
+// TestFaultConformance certifies the standard persistent crash+restart
+// and partition+heal nemesis sweeps on both stepping engines
+// (ptest.RunFaults semantics).
+func TestFaultConformance(t *testing.T) {
+	ptest.RunFaults(t, contrarian.New(), ptest.Expect{})
+}

@@ -72,3 +72,10 @@ func TestRejectsMultiWrite(t *testing.T) {
 func TestLoadConformance(t *testing.T) {
 	ptest.RunLoad(t, cops.New(), ptest.Expect{LoadTxns: 128})
 }
+
+// TestFaultConformance certifies the standard persistent crash+restart
+// and partition+heal nemesis sweeps on both stepping engines
+// (ptest.RunFaults semantics).
+func TestFaultConformance(t *testing.T) {
+	ptest.RunFaults(t, cops.New(), ptest.Expect{})
+}

@@ -118,3 +118,10 @@ func TestRejectsMultiWrite(t *testing.T) {
 func TestLoadConformance(t *testing.T) {
 	ptest.RunLoad(t, copssnow.New(), ptest.Expect{LoadTxns: 96})
 }
+
+// TestFaultConformance certifies the standard persistent crash+restart
+// and partition+heal nemesis sweeps on both stepping engines
+// (ptest.RunFaults semantics).
+func TestFaultConformance(t *testing.T) {
+	ptest.RunFaults(t, copssnow.New(), ptest.Expect{})
+}

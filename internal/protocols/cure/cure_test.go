@@ -200,3 +200,10 @@ func TestSnapshotArbitrationFractureIsInherent(t *testing.T) {
 			rep.Cert.FirstViolation, rep.Cert.FirstViolationID)
 	}
 }
+
+// TestFaultConformance certifies the standard persistent crash+restart
+// and partition+heal nemesis sweeps on both stepping engines
+// (ptest.RunFaults semantics).
+func TestFaultConformance(t *testing.T) {
+	ptest.RunFaults(t, cure.New(), ptest.Expect{})
+}

@@ -172,3 +172,10 @@ func TestReadAtTimeClosesStraddlingRead(t *testing.T) {
 			res.Rounds, res.Values)
 	}
 }
+
+// TestFaultConformance certifies the standard persistent crash+restart
+// and partition+heal nemesis sweeps on both stepping engines
+// (ptest.RunFaults semantics).
+func TestFaultConformance(t *testing.T) {
+	ptest.RunFaults(t, eiger.New(), ptest.Expect{})
+}

@@ -77,3 +77,10 @@ func TestHistoryStaysCausalBecauseReadsAreStale(t *testing.T) {
 func TestLoadConformance(t *testing.T) {
 	ptest.RunLoad(t, eigerps.New(), ptest.Expect{ViolatesUnderLoad: true, LoadTxns: 96})
 }
+
+// TestFaultConformance certifies the standard persistent crash+restart
+// and partition+heal nemesis sweeps on both stepping engines
+// (ptest.RunFaults semantics).
+func TestFaultConformance(t *testing.T) {
+	ptest.RunFaults(t, eigerps.New(), ptest.Expect{ViolatesUnderLoad: true})
+}

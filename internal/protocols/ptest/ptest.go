@@ -57,6 +57,11 @@ type Expect struct {
 	// Fracture configurations pin the seeds where the race is known to
 	// manifest.
 	LoadSeeds []int64
+	// FaultFractureNote marks a protocol whose certification is expected
+	// to fail only under the RunFaults nemesis sweep (a fault-free-clean
+	// protocol whose visibility fractures under the outage's reshuffled
+	// delivery). When unset, RunFaults falls back to FractureNote.
+	FaultFractureNote string
 	// LoadTxns is the transaction count per load run (default 72). The
 	// streaming ride-along session has no transaction ceiling (it
 	// retires committed prefixes of its closure as the sweep runs), so

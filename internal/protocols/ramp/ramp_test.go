@@ -109,3 +109,10 @@ func TestReadAtomicityUnderRandomSchedules(t *testing.T) {
 func TestLoadConformance(t *testing.T) {
 	ptest.RunLoad(t, ramp.New(), ptest.Expect{LoadTxns: 96})
 }
+
+// TestFaultConformance certifies the standard persistent crash+restart
+// and partition+heal nemesis sweeps on both stepping engines
+// (ptest.RunFaults semantics).
+func TestFaultConformance(t *testing.T) {
+	ptest.RunFaults(t, ramp.New(), ptest.Expect{})
+}

@@ -97,3 +97,10 @@ func TestRejectsReadWrite(t *testing.T) {
 func TestLoadConformance(t *testing.T) {
 	ptest.RunLoad(t, twopcfast.New(), ptest.Expect{ViolatesUnderLoad: true, LoadTxns: 96})
 }
+
+// TestFaultConformance certifies the standard persistent crash+restart
+// and partition+heal nemesis sweeps on both stepping engines
+// (ptest.RunFaults semantics).
+func TestFaultConformance(t *testing.T) {
+	ptest.RunFaults(t, twopcfast.New(), ptest.Expect{ViolatesUnderLoad: true})
+}

@@ -41,13 +41,16 @@ func (k *Kernel) pushArrival(m *Message) {
 	heap.Push(&k.arrivals, m)
 }
 
-// EarliestArrival returns the in-transit message with the smallest
-// (ReadyAt, ID), or nil when nothing is in transit. Stale heap entries
-// (messages already delivered or dropped) are discarded on the way.
+// EarliestArrival returns the deliverable in-transit message with the
+// smallest (ReadyAt, ID), or nil when nothing is deliverable. Stale heap
+// entries (messages already delivered or dropped) and held entries
+// (stranded by a crash or cut — the kernel's held stash keeps them and
+// re-pushes on release, so discarding the index entry loses nothing) are
+// discarded on the way.
 func (k *Kernel) EarliestArrival() *Message {
 	for k.arrivals.Len() > 0 {
 		m := k.arrivals[0]
-		if m.gone {
+		if m.gone || m.held {
 			heap.Pop(&k.arrivals)
 			continue
 		}
@@ -57,8 +60,14 @@ func (k *Kernel) EarliestArrival() *Message {
 }
 
 // rebuildArrivals reindexes the heap from the transit buffer (used by
-// Snapshot, whose messages are fresh clones).
+// Snapshot, whose messages are fresh clones). Held messages stay out:
+// they are re-pushed by releaseHeld when their fault clears.
 func (k *Kernel) rebuildArrivals() {
-	k.arrivals = append(k.arrivals[:0], k.transit...)
+	k.arrivals = k.arrivals[:0]
+	for _, m := range k.transit {
+		if !m.held {
+			k.arrivals = append(k.arrivals, m)
+		}
+	}
 	heap.Init(&k.arrivals)
 }

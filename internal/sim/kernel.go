@@ -80,6 +80,21 @@ type Kernel struct {
 	// by trace analysis (spec measurements). Payloads are immutable after
 	// send by convention, so snapshots share the registry entries.
 	sent map[int64]Payload
+	// Nemesis state (nemesis.go): crashed processes, severed directed
+	// links, the stash of held (undeliverable) messages, and the recovery
+	// hooks run after a lossy crash. All nil/empty on fault-free runs —
+	// the hot paths gate on the map lengths, so the fault layer costs a
+	// fault-free run nothing observable.
+	crashed  map[ProcessID]crashInfo
+	cut      map[Link]bool
+	heldMsgs []*Message
+	recovery map[ProcessID]func(Process) Process
+	// Conservation counters (CheckConservation): deliveries executed,
+	// messages dropped from transit (DropInTransit), and delivered-but-
+	// unconsumed messages discarded by lossy crashes.
+	deliveredMsgs int64
+	lostTransit   int64
+	lostInbox     int64
 }
 
 // NewKernel creates an empty configuration. Latency defaults to a uniform
@@ -202,21 +217,25 @@ func (k *Kernel) InTransit() []*Message {
 	return out
 }
 
-// InTransitOn returns in-transit messages on the given link, oldest first.
+// InTransitOn returns deliverable in-transit messages on the given link,
+// oldest first. Held messages (stranded by a crash or cut) are excluded:
+// callers use this to drive deliveries, and a held message is not a legal
+// delivery until the fault clears.
 func (k *Kernel) InTransitOn(l Link) []*Message {
 	var out []*Message
 	for _, m := range k.transit {
-		if !m.gone && m.From == l.From && m.To == l.To {
+		if !m.gone && !m.held && m.From == l.From && m.To == l.To {
 			out = append(out, m)
 		}
 	}
 	return out
 }
 
-// FindInTransit locates an in-transit message by link and sequence number.
+// FindInTransit locates a deliverable in-transit message by link and
+// sequence number (held messages excluded, like InTransitOn).
 func (k *Kernel) FindInTransit(l Link, seq int64) *Message {
 	for _, m := range k.transit {
-		if !m.gone && m.From == l.From && m.To == l.To && m.LinkSeq == seq {
+		if !m.gone && !m.held && m.From == l.From && m.To == l.To && m.LinkSeq == seq {
 			return m
 		}
 	}
@@ -255,7 +274,11 @@ func (k *Kernel) Deliver(msgID int64) *Message {
 	if !ok {
 		panic(fmt.Sprintf("sim: Deliver(%d): message not in transit", msgID))
 	}
+	if m.held {
+		panic(fmt.Sprintf("sim: Deliver(%d): message is held by a fault (destination down or link cut)", msgID))
+	}
 	delete(k.byID, msgID)
+	k.deliveredMsgs++
 	m.gone = true
 	k.compactTransit()
 	if m.ReadyAt > k.now {
@@ -309,6 +332,9 @@ func (k *Kernel) StepProcess(pid ProcessID) []*Message {
 	if !ok {
 		panic(fmt.Sprintf("sim: StepProcess(%s): unknown process", pid))
 	}
+	if k.Down(pid) {
+		panic(fmt.Sprintf("sim: StepProcess(%s): process is crashed", pid))
+	}
 	in := k.inbox[pid]
 	if len(in) > 0 {
 		k.pendingInboxes--
@@ -359,7 +385,14 @@ func (k *Kernel) send(from ProcessID, o Outbound, at Time) *Message {
 	m.ReadyAt = at + k.latency(l, k.rng)
 	k.transit = append(k.transit, m)
 	k.byID[m.ID] = m
-	k.pushArrival(m)
+	if k.blocked(from, o.To) {
+		// Destination down or link cut: the message is committed (ID,
+		// sequence number, latency draw) but held out of the arrival
+		// index until the fault clears.
+		k.hold(m)
+	} else {
+		k.pushArrival(m)
+	}
 	if k.keepPayloads {
 		k.sent[m.ID] = m.Payload
 	}
@@ -418,6 +451,27 @@ func (k *Kernel) Snapshot() *Kernel {
 		keepPayloads:   k.keepPayloads,
 		latencyFloor:   k.latencyFloor,
 		sent:           make(map[int64]Payload, len(k.sent)),
+		deliveredMsgs:  k.deliveredMsgs,
+		lostTransit:    k.lostTransit,
+		lostInbox:      k.lostInbox,
+	}
+	if len(k.crashed) > 0 {
+		c.crashed = make(map[ProcessID]crashInfo, len(k.crashed))
+		for id, ci := range k.crashed {
+			c.crashed[id] = ci
+		}
+	}
+	if len(k.cut) > 0 {
+		c.cut = make(map[Link]bool, len(k.cut))
+		for l := range k.cut {
+			c.cut[l] = true
+		}
+	}
+	if len(k.recovery) > 0 {
+		c.recovery = make(map[ProcessID]func(Process) Process, len(k.recovery))
+		for id, f := range k.recovery {
+			c.recovery[id] = f
+		}
 	}
 	if len(k.linkFloor) > 0 {
 		c.linkFloor = make(map[Link]Time, len(k.linkFloor))
@@ -439,6 +493,9 @@ func (k *Kernel) Snapshot() *Kernel {
 		cp := m.clone()
 		c.transit = append(c.transit, cp)
 		c.byID[cp.ID] = cp
+		if cp.held {
+			c.heldMsgs = append(c.heldMsgs, cp)
+		}
 	}
 	c.rebuildArrivals()
 	for id, msgs := range k.inbox {
@@ -468,6 +525,7 @@ func (k *Kernel) DropInTransit(msgID int64) bool {
 	}
 	delete(k.byID, msgID)
 	m.gone = true
+	k.lostTransit++
 	k.compactTransit()
 	k.Annotate(EvMark, m.From, fmt.Sprintf("dropped %s", m))
 	return true

@@ -1,0 +1,357 @@
+package sim
+
+import "fmt"
+
+// This file is the kernel half of the deterministic nemesis layer: fault
+// events (server crash/restart, directed link cut/heal) applied to a
+// kernel at scheduled virtual instants. Faults are first-class
+// configuration changes, not schedule tricks, and they compose with every
+// stepping engine because the driver applies them only between engine
+// runs — when all pending inboxes and arrivals live in the kernel — so
+// the same schedule replays byte-for-byte at any worker count.
+//
+// Semantics (see DESIGN.md, "Deterministic fault injection"):
+//
+//   - Crash freezes a process: it takes no steps and receives no
+//     deliveries until Restart. Messages addressed to it — in transit or
+//     sent while it is down — are held, never dropped. With lose=false
+//     (persistence) its state and income buffer survive: the whole
+//     outage is indistinguishable from a long network delay, a schedule
+//     the asynchronous model already contains. With lose=true the income
+//     buffer is discarded at crash time and the process state is rebuilt
+//     at restart by the registered recovery hook (the default installed
+//     by protocol.Deploy drops all volatile state: a factory-fresh
+//     process).
+//   - Cut severs one directed link: messages in transit on it and
+//     messages sent on it while cut are held. Heal releases them; they
+//     become deliverable no earlier than max(ReadyAt, heal instant).
+//     Links stay reliable — a partition delays, it never loses.
+//
+// Held messages keep their transit registration (byID, transit buffer)
+// so configuration accounting is exact; only the arrival index skips
+// them, which is what makes them undeliverable.
+
+// FaultKind classifies nemesis events.
+type FaultKind uint8
+
+// Nemesis event kinds.
+const (
+	// FaultCrash halts Proc. Lose selects volatile-state loss.
+	FaultCrash FaultKind = iota
+	// FaultRestart brings Proc back (running the recovery hook if the
+	// crash was lossy).
+	FaultRestart
+	// FaultCut severs every directed link between the From and To groups
+	// (both directions).
+	FaultCut
+	// FaultHeal restores those links.
+	FaultHeal
+)
+
+func (fk FaultKind) String() string {
+	switch fk {
+	case FaultCrash:
+		return "crash"
+	case FaultRestart:
+		return "restart"
+	case FaultCut:
+		return "cut"
+	case FaultHeal:
+		return "heal"
+	}
+	return fmt.Sprintf("fault(%d)", fk)
+}
+
+// Fault is one scheduled nemesis event. At is a virtual instant —
+// relative to the run start in driver schedules, absolute by the time
+// ApplyFault sees it.
+type Fault struct {
+	At   Time
+	Kind FaultKind
+	// Proc is the crash/restart target.
+	Proc ProcessID
+	// Lose selects volatile-state loss for a crash: the income buffer is
+	// dropped immediately and the process is rebuilt by its recovery hook
+	// at restart. False models persistence: state and inbox survive the
+	// outage untouched.
+	Lose bool
+	// From and To are the partition groups for cut/heal: every directed
+	// link between a From process and a To process, in both directions,
+	// is affected.
+	From, To []ProcessID
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultCrash, FaultRestart:
+		return fmt.Sprintf("%s(%s,lose=%v)@%d", f.Kind, f.Proc, f.Lose, f.At)
+	default:
+		return fmt.Sprintf("%s(%v|%v)@%d", f.Kind, f.From, f.To, f.At)
+	}
+}
+
+// Recoverable is optionally implemented by processes that keep durable
+// state across a lossy crash: Recover returns the post-restart process
+// (same ID), typically preserving on-disk fields and discarding the
+// rest. Processes without it are rebuilt factory-fresh by the recovery
+// hook protocol.Deploy installs — the default drop-all-volatile model.
+type Recoverable interface {
+	Recover() Process
+}
+
+type crashInfo struct {
+	at   Time
+	lose bool
+}
+
+// SetRecovery registers the hook that rebuilds pid after a lossy crash.
+// Restart calls it with the pre-crash process and installs the returned
+// one under the same ID; without a hook the old state is kept (which
+// degrades lose to persist). protocol.Deploy installs hooks for every
+// process it creates.
+func (k *Kernel) SetRecovery(pid ProcessID, f func(old Process) Process) {
+	if k.recovery == nil {
+		k.recovery = make(map[ProcessID]func(Process) Process)
+	}
+	k.recovery[pid] = f
+}
+
+// Down reports whether pid is currently crashed.
+func (k *Kernel) Down(pid ProcessID) bool {
+	if len(k.crashed) == 0 {
+		return false
+	}
+	_, down := k.crashed[pid]
+	return down
+}
+
+// LinkCut reports whether the directed link is currently severed.
+func (k *Kernel) LinkCut(l Link) bool { return len(k.cut) > 0 && k.cut[l] }
+
+// blocked reports whether a message on the link can currently make
+// progress toward delivery. Hot path: both checks short-circuit on the
+// map lengths, so fault-free runs pay two integer compares.
+func (k *Kernel) blocked(from, to ProcessID) bool {
+	if len(k.crashed) > 0 {
+		if _, down := k.crashed[to]; down {
+			return true
+		}
+	}
+	return len(k.cut) > 0 && k.cut[Link{From: from, To: to}]
+}
+
+// hold strands a live in-transit message: it stays registered in transit
+// and byID (configuration accounting is exact) but leaves the arrival
+// index, so no scheduler can deliver it until released.
+func (k *Kernel) hold(m *Message) {
+	m.held = true
+	k.heldMsgs = append(k.heldMsgs, m)
+}
+
+// holdMatching strands every live in-transit message the predicate
+// selects (crash: addressed to the target; cut: on the severed link).
+func (k *Kernel) holdMatching(match func(*Message) bool) {
+	for _, m := range k.transit {
+		if !m.gone && !m.held && match(m) {
+			k.hold(m)
+		}
+	}
+}
+
+// releaseHeld re-arms every held message that is no longer blocked,
+// pushing it back onto the arrival index. Delivery then happens at
+// max(ReadyAt, now): never early, possibly late — a schedule the
+// asynchronous model already contains.
+func (k *Kernel) releaseHeld() {
+	kept := k.heldMsgs[:0]
+	for _, m := range k.heldMsgs {
+		if m.gone {
+			continue // dropped while held
+		}
+		if k.blocked(m.From, m.To) {
+			kept = append(kept, m)
+			continue
+		}
+		m.held = false
+		k.pushArrival(m)
+	}
+	for i := len(kept); i < len(k.heldMsgs); i++ {
+		k.heldMsgs[i] = nil
+	}
+	k.heldMsgs = kept
+}
+
+// Crash halts pid at the current instant. Returns false (no-op) if pid
+// is unknown or already down. With lose, the income buffer is dropped on
+// the spot; state is rebuilt at Restart by the recovery hook. Without,
+// state and inbox are frozen intact. Either way every in-transit message
+// addressed to pid is held until Restart.
+func (k *Kernel) Crash(pid ProcessID, lose bool) bool {
+	if _, ok := k.procs[pid]; !ok {
+		return false
+	}
+	if k.Down(pid) {
+		return false
+	}
+	if k.crashed == nil {
+		k.crashed = make(map[ProcessID]crashInfo)
+	}
+	k.crashed[pid] = crashInfo{at: k.now, lose: lose}
+	if lose {
+		if n := len(k.inbox[pid]); n > 0 {
+			k.pendingInboxes--
+			k.lostInbox += int64(n)
+			k.inbox[pid] = nil
+		}
+	}
+	k.holdMatching(func(m *Message) bool { return m.To == pid })
+	k.Annotate(EvMark, pid, fmt.Sprintf("crash lose=%v", lose))
+	return true
+}
+
+// Restart brings a crashed pid back at the current instant. After a
+// lossy crash the recovery hook rebuilds the process (factory-fresh by
+// default); after a persistent crash the frozen state simply resumes.
+// Held messages addressed to pid become deliverable again (unless their
+// link is also cut).
+func (k *Kernel) Restart(pid ProcessID) bool {
+	info, down := k.crashed[pid]
+	if !down {
+		return false
+	}
+	delete(k.crashed, pid)
+	if info.lose {
+		if rec := k.recovery[pid]; rec != nil {
+			k.procs[pid] = rec(k.procs[pid])
+		}
+	}
+	k.releaseHeld()
+	k.Annotate(EvMark, pid, "restart")
+	return true
+}
+
+// CutLink severs one directed link. In-transit messages on it are held;
+// so is everything sent on it until HealLink. Returns false if already
+// cut.
+func (k *Kernel) CutLink(l Link) bool {
+	if k.LinkCut(l) {
+		return false
+	}
+	if k.cut == nil {
+		k.cut = make(map[Link]bool)
+	}
+	k.cut[l] = true
+	k.holdMatching(func(m *Message) bool { return m.From == l.From && m.To == l.To })
+	return true
+}
+
+// HealLink restores a severed link and releases its held messages
+// (unless their destination is still down). Returns false if not cut.
+func (k *Kernel) HealLink(l Link) bool {
+	if !k.LinkCut(l) {
+		return false
+	}
+	delete(k.cut, l)
+	k.releaseHeld()
+	return true
+}
+
+// ApplyFault executes one nemesis event against the kernel at the
+// current instant (the caller advances the clock to f.At first). It
+// reports whether anything changed — re-crashing a downed process or
+// re-cutting a severed link is a deliberate no-op, which makes arbitrary
+// (fuzzed) schedules safe to apply.
+func (k *Kernel) ApplyFault(f Fault) bool {
+	switch f.Kind {
+	case FaultCrash:
+		return k.Crash(f.Proc, f.Lose)
+	case FaultRestart:
+		return k.Restart(f.Proc)
+	case FaultCut:
+		applied := false
+		for _, a := range f.From {
+			for _, b := range f.To {
+				if a == b {
+					continue
+				}
+				if k.CutLink(Link{From: a, To: b}) {
+					applied = true
+				}
+				if k.CutLink(Link{From: b, To: a}) {
+					applied = true
+				}
+			}
+		}
+		if applied {
+			k.Annotate(EvMark, "", fmt.Sprintf("cut %v|%v", f.From, f.To))
+		}
+		return applied
+	case FaultHeal:
+		applied := false
+		for _, a := range f.From {
+			for _, b := range f.To {
+				if a == b {
+					continue
+				}
+				if k.HealLink(Link{From: a, To: b}) {
+					applied = true
+				}
+				if k.HealLink(Link{From: b, To: a}) {
+					applied = true
+				}
+			}
+		}
+		if applied {
+			k.Annotate(EvMark, "", fmt.Sprintf("heal %v|%v", f.From, f.To))
+		}
+		return applied
+	}
+	return false
+}
+
+// HeldMessages returns how many messages are currently held (strand by a
+// crash or cut), and LostInboxMessages how many delivered-but-unconsumed
+// messages lossy crashes have discarded so far.
+func (k *Kernel) HeldMessages() int {
+	n := 0
+	for _, m := range k.heldMsgs {
+		if !m.gone {
+			n++
+		}
+	}
+	return n
+}
+
+// LostInboxMessages returns the number of income-buffer messages dropped
+// by lossy crashes so far.
+func (k *Kernel) LostInboxMessages() int64 { return k.lostInbox }
+
+// CheckConservation verifies the kernel's message accounting: every
+// message ever sent is either still live in transit (held included),
+// was delivered exactly once, or was explicitly dropped from transit.
+// Lossy crashes discard only already-delivered messages, so they never
+// unbalance the equation. Fault-injection tests assert this after
+// arbitrary schedules.
+func (k *Kernel) CheckConservation() error {
+	live := int64(len(k.byID))
+	if k.nextID != k.deliveredMsgs+live+k.lostTransit {
+		return fmt.Errorf("sim: message conservation broken: sent %d != delivered %d + live %d + dropped %d",
+			k.nextID, k.deliveredMsgs, live, k.lostTransit)
+	}
+	held := 0
+	for _, m := range k.transit {
+		if !m.gone && m.held {
+			held++
+			if _, ok := k.byID[m.ID]; !ok {
+				return fmt.Errorf("sim: held message %s not registered live", m)
+			}
+			if !k.blocked(m.From, m.To) {
+				return fmt.Errorf("sim: message %s held but neither destination down nor link cut", m)
+			}
+		}
+	}
+	if hm := k.HeldMessages(); hm != held {
+		return fmt.Errorf("sim: held stash tracks %d messages, transit has %d held", hm, held)
+	}
+	return nil
+}

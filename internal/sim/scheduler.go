@@ -106,12 +106,12 @@ func (r *Restriction) AllowsMsg(m *Message) bool {
 func enabled(k *Kernel, r *Restriction) []Action {
 	var acts []Action
 	for _, m := range k.transit {
-		if !m.gone && r.AllowsMsg(m) {
+		if !m.gone && !m.held && r.AllowsMsg(m) {
 			acts = append(acts, Action{Kind: ActDeliver, Msg: m.ID})
 		}
 	}
 	for _, id := range k.order {
-		if !r.AllowsProc(id) {
+		if !r.AllowsProc(id) || k.Down(id) {
 			continue
 		}
 		if len(k.inbox[id]) > 0 {
@@ -119,7 +119,7 @@ func enabled(k *Kernel, r *Restriction) []Action {
 		}
 	}
 	for _, id := range k.order {
-		if !r.AllowsProc(id) {
+		if !r.AllowsProc(id) || k.Down(id) {
 			continue
 		}
 		if len(k.inbox[id]) == 0 && k.procs[id].Ready() {
@@ -137,7 +137,7 @@ func firstPendingInbox(k *Kernel, r *Restriction) (ProcessID, bool) {
 		return "", false
 	}
 	for _, id := range k.order {
-		if r.AllowsProc(id) && len(k.inbox[id]) > 0 {
+		if r.AllowsProc(id) && !k.Down(id) && len(k.inbox[id]) > 0 {
 			return id, true
 		}
 	}
@@ -158,12 +158,12 @@ func (s *RoundRobin) Next(k *Kernel) (Action, bool) {
 		return Action{Kind: ActStep, Proc: id}, true
 	}
 	for _, m := range k.transit {
-		if !m.gone && s.Only.AllowsMsg(m) {
+		if !m.gone && !m.held && s.Only.AllowsMsg(m) {
 			return Action{Kind: ActDeliver, Msg: m.ID}, true
 		}
 	}
 	for _, id := range k.order {
-		if s.Only.AllowsProc(id) && k.procs[id].Ready() {
+		if s.Only.AllowsProc(id) && !k.Down(id) && k.procs[id].Ready() {
 			return Action{Kind: ActStep, Proc: id}, true
 		}
 	}
@@ -236,7 +236,7 @@ func nextArrival(k *Kernel, r *Restriction) *Message {
 	}
 	var best *Message
 	for _, m := range k.transit {
-		if m.gone || !r.AllowsMsg(m) {
+		if m.gone || m.held || !r.AllowsMsg(m) {
 			continue
 		}
 		if best == nil || m.ReadyAt < best.ReadyAt || (m.ReadyAt == best.ReadyAt && m.ID < best.ID) {
@@ -271,7 +271,7 @@ func (s *Network) Next(k *Kernel) (Action, bool) {
 	var wakeProc ProcessID
 	haveWake := false
 	for _, id := range k.order {
-		if !s.Only.AllowsProc(id) || !k.procs[id].Ready() {
+		if !s.Only.AllowsProc(id) || k.Down(id) || !k.procs[id].Ready() {
 			continue
 		}
 		if !s.NoTimeLeap {

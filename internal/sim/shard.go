@@ -162,6 +162,10 @@ type shard struct {
 	procs []Process
 	ids   []ProcessID
 	local map[ProcessID]int
+	// down marks crashed local processes. Refreshed serially at Run
+	// start (faults only change between engine runs), so reads from
+	// worker goroutines during a round are race-free.
+	down []bool
 
 	due       []*Message   // barrier: window deliveries, (ReadyAt, ID) order
 	arr       arrivalHeap  // lookahead: undelivered arrivals for this shard
@@ -253,6 +257,7 @@ func newShardedRunner(k *Kernel, shardOf func(ProcessID) int, nShards, workers i
 	for _, sh := range r.shards {
 		sh.inbox = make([][]*Message, len(sh.procs))
 		sh.evBy = make([]int, len(sh.procs))
+		sh.down = make([]bool, len(sh.procs))
 	}
 	if lookahead {
 		r.e = make([]Time, nShards)
@@ -374,6 +379,7 @@ func (r *ShardedRunner) SetHorizon(t Time) { r.horizon = t }
 // count (each shard of a round is capped at an equal share of the
 // remaining budget) — deterministically so.
 func (r *ShardedRunner) Run(stop func(*Kernel) bool, maxEvents int) int {
+	r.syncFaults()
 	if r.lookahead {
 		defer r.restoreArrivals()
 	}
@@ -395,6 +401,21 @@ func (r *ShardedRunner) Run(stop func(*Kernel) bool, maxEvents int) int {
 		}
 	}
 	return n
+}
+
+// syncFaults refreshes the shards' view of nemesis state at Run start:
+// the per-process down flags, and the process pointers themselves — a
+// lossy restart swaps a fresh process into the kernel between engine
+// runs, and the shard must step the replacement, not the corpse. Faults
+// are applied only between Runs (serially, by the driver), so one
+// refresh per Run keeps every worker's view exact and race-free.
+func (r *ShardedRunner) syncFaults() {
+	for _, sh := range r.shards {
+		for li, id := range sh.ids {
+			sh.procs[li] = r.k.procs[id]
+			sh.down[li] = r.k.Down(id)
+		}
+	}
 }
 
 // restoreArrivals hands arrival indexing back to the kernel when a
@@ -420,9 +441,16 @@ func (r *ShardedRunner) adoptPending() {
 	if k.pendingInboxes == 0 {
 		return
 	}
+	kept := 0
 	for _, pid := range k.order {
 		msgs := k.inbox[pid]
 		if len(msgs) == 0 {
+			continue
+		}
+		if k.Down(pid) {
+			// A persistently-crashed process keeps its delivered-but-
+			// unconsumed messages in the kernel buffer until restart.
+			kept++
 			continue
 		}
 		sh := r.shardOf[pid]
@@ -433,7 +461,7 @@ func (r *ShardedRunner) adoptPending() {
 		sh.inbox[li] = append(sh.inbox[li], msgs...)
 		k.inbox[pid] = nil
 	}
-	k.pendingInboxes = 0
+	k.pendingInboxes = kept
 }
 
 // runActive executes the active shards' windows — in parallel when there
@@ -489,6 +517,7 @@ func (r *ShardedRunner) merge(active []*shard) int {
 			k.send(ps.from, ps.out, ps.at)
 		}
 		sh.sends = sh.sends[:0]
+		k.deliveredMsgs += int64(sh.di) + int64(len(sh.delivered))
 		for _, m := range sh.due[sh.di:] {
 			// Budget ran out before delivery: the message goes back into
 			// transit untouched.
@@ -569,8 +598,8 @@ func (r *ShardedRunner) round(budget int) (int, bool) {
 	shardWake := make([]Time, len(r.shards))
 	shardHasWake := make([]bool, len(r.shards))
 	for si, sh := range r.shards {
-		for _, p := range sh.procs {
-			if !p.Ready() {
+		for li, p := range sh.procs {
+			if sh.down[li] || !p.Ready() {
 				continue
 			}
 			if w, ok := p.(Waker); ok {
@@ -715,8 +744,8 @@ func (r *ShardedRunner) roundLookahead(budget int) (int, bool) {
 		}
 		r.shardReady[si] = false
 		r.shardWake[si] = infTime
-		for _, p := range sh.procs {
-			if !p.Ready() {
+		for li, p := range sh.procs {
+			if sh.down[li] || !p.Ready() {
 				continue
 			}
 			if w, ok := p.(Waker); ok {
@@ -874,7 +903,7 @@ func (sh *shard) runWindow(tstart, tend Time, budget int) {
 		var wake Time
 		wakeLi := -1
 		for li, p := range sh.procs {
-			if !p.Ready() {
+			if sh.down[li] || !p.Ready() {
 				continue
 			}
 			if w, ok := p.(Waker); ok {
@@ -944,7 +973,7 @@ func (sh *shard) runWindowLA(budget int) {
 		var wake Time
 		wakeLi := -1
 		for li, p := range sh.procs {
-			if !p.Ready() {
+			if sh.down[li] || !p.Ready() {
 				continue
 			}
 			if w, ok := p.(Waker); ok {

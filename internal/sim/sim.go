@@ -80,6 +80,10 @@ type Message struct {
 	// gone marks a message removed from transit (delivered or dropped);
 	// the arrival heap uses it to discard stale index entries lazily.
 	gone bool
+	// held marks a message stranded by a nemesis fault (destination
+	// crashed or link cut): still in transit, but not deliverable until
+	// the fault clears (nemesis.go).
+	held bool
 }
 
 func (m *Message) String() string {
