@@ -246,6 +246,19 @@ type nemCols struct {
 	NemFaultedCommitted int   `json:"nem_faulted_committed,omitempty"`
 	NemFaultedRejected  int   `json:"nem_faulted_rejected,omitempty"`
 	NemFaultedP99Us     int64 `json:"nem_faulted_p99_us,omitempty"`
+	// Reconfiguration columns (nonzero under -nemesis replace/restore):
+	// nem_sync_versions is the total state replacements adopted (durable
+	// image + peer transfer), nem_sync_peer_versions the peer-transferred
+	// share, nem_sync_time_us the summed deterministic catch-up duration,
+	// nem_sync_committed / nem_sync_p99_us the replacement-phase slice —
+	// commits whose lifetime crossed a catch-up window.
+	NemReplacements     int   `json:"nem_replacements,omitempty"`
+	NemRestores         int   `json:"nem_restores,omitempty"`
+	NemSyncVersions     int64 `json:"nem_sync_versions,omitempty"`
+	NemSyncPeerVersions int64 `json:"nem_sync_peer_versions,omitempty"`
+	NemSyncTimeUs       int64 `json:"nem_sync_time_us,omitempty"`
+	NemSyncCommitted    int   `json:"nem_sync_committed,omitempty"`
+	NemSyncP99Us        int64 `json:"nem_sync_p99_us,omitempty"`
 }
 
 // nemCells fills the nemesis columns from a run's fault report.
@@ -265,6 +278,13 @@ func nemCells(r *nemCols, n *driver.NemesisReport) {
 	r.NemFaultedCommitted = n.FaultedCommitted
 	r.NemFaultedRejected = n.FaultedRejected
 	r.NemFaultedP99Us = n.FaultedLatency.P99
+	r.NemReplacements = n.Replacements
+	r.NemRestores = n.Restores
+	r.NemSyncVersions = n.SyncedVersions
+	r.NemSyncPeerVersions = n.PeerSyncedVersions
+	r.NemSyncTimeUs = int64(n.SyncTime)
+	r.NemSyncCommitted = n.SyncPhaseCommitted
+	r.NemSyncP99Us = n.SyncPhaseLatency.P99
 }
 
 // nemesisByName resolves the -nemesis flag to a named fault schedule.
@@ -284,8 +304,21 @@ func nemesisByName(name string) (*driver.Nemesis, error) {
 		return &driver.Nemesis{Partitions: 1, Start: 20_000, Duration: 15_000}, nil
 	case "crash+partition":
 		return &driver.Nemesis{Crashes: 1, Partitions: 1, Start: 20_000, Period: 120_000, Duration: 10_000}, nil
+	case "replace":
+		// One mid-run replica replacement (fires at Start+Period/4): the
+		// durable image reattaches and the replacement catches up from
+		// live peers before serving.
+		return &driver.Nemesis{Replaces: 1, Start: 20_000, Period: 80_000}, nil
+	case "replace-lose":
+		// Replacement with the disk gone: the fresh process owns only what
+		// live peers transfer — real data loss under disjoint placement.
+		return &driver.Nemesis{Replaces: 1, Lose: true, Start: 20_000, Period: 80_000}, nil
+	case "restore":
+		// One coordinated whole-cluster stop-and-rebuild from durable
+		// snapshots (fires at Start+3·Period/4).
+		return &driver.Nemesis{Restores: 1, Start: 20_000, Period: 80_000}, nil
 	default:
-		return nil, fmt.Errorf("unknown nemesis %q (have crash, crash-lose, partition, crash+partition)", name)
+		return nil, fmt.Errorf("unknown nemesis %q (have crash, crash-lose, partition, crash+partition, replace, replace-lose, restore)", name)
 	}
 }
 
@@ -479,9 +512,11 @@ func main() {
 			"snapshots between events and never perturb the run)")
 	nemesis := flag.String("nemesis", "",
 		"closed-loop grid only: inject a deterministic fault schedule into "+
-			"every cell (crash, crash-lose, partition, crash+partition) and add "+
-			"nem_* columns — applied faults, unavailability, recovery latency, "+
-			"degraded-phase counts. The schedule is a pure function of the seed "+
+			"every cell (crash, crash-lose, partition, crash+partition, "+
+			"replace, replace-lose, restore) and add nem_* columns — applied "+
+			"faults, unavailability, recovery latency, degraded-phase counts, "+
+			"and for reconfiguration schedules the replacement catch-up cost "+
+			"(nem_sync_* columns). The schedule is a pure function of the seed "+
 			"and cell config, so -nemesis grids stay byte-diffable across "+
 			"worker counts; fault-free rows omit the columns entirely")
 	refineKnee := flag.Bool("refineknee", false,

@@ -521,6 +521,62 @@ func TestGridNemesisAcceptance(t *testing.T) {
 	}
 }
 
+// TestGridReconfigDeterministic: same flags → byte-identical grids for a
+// -nemesis replace cell, and the row is byte-identical across worker
+// counts (the determinism contract extends to reconfiguration schedules).
+// The replacement catch-up cost must surface in the nem_sync_* columns:
+// versions adopted, sync time, and an unavailability window, with nothing
+// lost.
+func TestGridReconfigDeterministic(t *testing.T) {
+	cfg := gridConfig{
+		protocols: []string{"cops"}, mixes: []string{"balanced"},
+		clients: []int{8}, txns: []int{400}, pipeline: 1,
+		servers: []int{2}, replication: []int{1},
+		objects: 2, seed: 5, workers: 1, certify: true, nemesis: "replace",
+	}
+	run := func(workers int) []row {
+		c := cfg
+		c.workers = workers
+		rows, err := buildGrid(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 {
+			t.Fatalf("rows = %d, want 1", len(rows))
+		}
+		return rows
+	}
+	rows := run(1)
+	r := rows[0]
+	if r.Incomplete != 0 {
+		t.Fatalf("%d transactions incomplete after the replacement caught up", r.Incomplete)
+	}
+	if r.NemReplacements == 0 {
+		t.Fatalf("replace cell applied no replacement: %+v", r.nemCols)
+	}
+	if r.NemSyncVersions == 0 || r.NemSyncTimeUs <= 0 {
+		t.Fatalf("replacement adopted no state: %+v", r.nemCols)
+	}
+	if r.NemUnavailableUs <= 0 {
+		t.Fatalf("replacement cell reports no unavailability: %+v", r.nemCols)
+	}
+	if r.NemLostMsgs != 0 {
+		t.Fatalf("non-lossy replacement lost %d messages", r.NemLostMsgs)
+	}
+	if r.Cert != "ok" {
+		t.Fatalf("replace cell did not certify clean: %+v", r.certCols)
+	}
+	// Same flags → byte-identical (wall-clocks are the one
+	// nondeterministic column set), and workers is not a schedule input.
+	norm := func(rs []row) string {
+		rs[0].CertWallMS, rs[0].CertBatchWallMS = 0, 0
+		return encode(t, rs)
+	}
+	first := norm(rows)
+	requireIdentical(t, "replace cell JSON (same flags)", first, norm(run(1)))
+	requireIdentical(t, "replace cell JSON (W1 vs W4)", first, norm(run(4)))
+}
+
 // TestGridNemesisDeterministicAndGated: same flags → byte-identical
 // nemesis grids (the bench determinism contract extends to faulted
 // cells); fault-free grids omit every nem_* column; unknown schedule

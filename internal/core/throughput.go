@@ -54,8 +54,10 @@ type ThroughputReport struct {
 	Sharding *sim.ShardingStats
 
 	// Nemesis is the fault-injection outcome (nil on fault-free runs):
-	// applied fault counts, unavailability, recovery latency and the
-	// degraded-phase transaction slice (driver.NemesisReport semantics).
+	// applied fault counts, unavailability, recovery latency, the
+	// degraded-phase transaction slice, and — for reconfiguration
+	// schedules — the replacement catch-up cost (versions re-synced,
+	// sync time, sync-phase latency; driver.NemesisReport semantics).
 	Nemesis *driver.NemesisReport
 }
 
@@ -104,9 +106,9 @@ type ThroughputOptions struct {
 	// Workers ≥ 1; the chosen partition lands in Sharding.Partition.
 	Rebalance bool
 	// Nemesis schedules deterministic fault injection into the measured
-	// phase (driver.Config.Nemesis semantics): seeded crash/restart and
-	// partition/heal cycles, byte-identical at every worker count. Nil
-	// runs fault-free.
+	// phase (driver.Config.Nemesis semantics): seeded crash/restart,
+	// partition/heal, replica-replacement and whole-cluster-restore
+	// cycles, byte-identical at every worker count. Nil runs fault-free.
 	Nemesis *driver.Nemesis
 }
 

@@ -301,11 +301,16 @@ type Report struct {
 // not-yet-replicated and already-overwritten values, not a consistency
 // verdict (that is what Certify is for); Incomplete counts probes the
 // frozen schedule could not finish, the signature of blocking designs.
-// The Faulted* fields split out the probes sampled while a nemesis fault
-// window was open (always 0 on fault-free runs): an active partition is
+// The Faulted* fields split out the probes whose sampled transaction's
+// lifetime crossed a nemesis fault window (always 0 on fault-free runs),
+// the same classification FaultedCommitted uses: an active partition is
 // expected to drive FaultedStale up — values commit at the writer's side
 // but cannot replicate — and the ratio recovering after heal is the
-// staleness signature of a partition.
+// staleness signature of a partition. A crash or replacement stalls the
+// transactions that need the dead server instead; they complete in a
+// burst at the restart, and their probes sample the window's aftermath —
+// the stable frontier still catching up — which is where replacement
+// staleness shows.
 type StalenessReport struct {
 	Probes     int
 	Stale      int
@@ -720,8 +725,9 @@ func (r *run) probeStaleness(res *model.Result) {
 	if !vis.Visible {
 		r.stale.Stale++
 	}
-	if r.nem != nil && r.nem.active > 0 {
-		// Sampled inside an open fault window: the degraded-phase slice.
+	if r.nem != nil && r.nem.overlaps(res.Invoked, res.Completed) {
+		// The sampled transaction's lifetime crossed a fault window: the
+		// degraded-phase slice (same rule as FaultedCommitted).
 		r.stale.FaultedProbes++
 		if vis.Incomplete {
 			r.stale.FaultedIncomplete++

@@ -11,8 +11,8 @@ import (
 )
 
 // Nemesis schedules deterministic fault injection into a load run: server
-// crash/restart cycles and directed link partitions applied at fixed
-// virtual instants. The schedule is a pure function of the run seed and
+// crash/restart cycles, directed link partitions, replica replacements
+// and coordinated cluster restores applied at fixed virtual instants. The schedule is a pure function of the run seed and
 // this configuration — never of the worker count or the engine — so a
 // faulted run replays byte-for-byte under every stepping mode, and
 // ride-along certification keeps working across the faults (a violation
@@ -44,19 +44,51 @@ type Nemesis struct {
 	// This is the staleness scenario — reads still complete, but return
 	// un-replicated values.
 	ServersOnly bool
+	// Replaces is the number of replica-replacement cycles: a server is
+	// killed and a fresh process adopts its ID-space and shard, re-syncs
+	// from the durable image and live peers (protocol.Deployment's
+	// AdoptShard hook), and starts serving only once caught up — the
+	// driver schedules the companion restart a deterministic sync
+	// duration (syncBase + syncPerVersion × versions adopted) after the
+	// replacement. Targets rotate pseudo-randomly (seeded) over the
+	// servers, like Crashes. Lose selects disk loss: the replacement owns
+	// only what live peers transfer.
+	Replaces int
+	// Restores is the number of coordinated whole-cluster restore cycles:
+	// every server stops together, each rebuilds from its latest durable
+	// snapshot, and the cluster comes back as one at a deterministic
+	// restore duration derived from the total version count. Lose wipes
+	// the snapshots — total data loss, which certification must catch.
+	Restores int
 	// Start is the virtual instant (relative to the measured run start) of
-	// the first fault; Period the spacing between cycle starts; Duration
-	// the downtime of each cycle (crash→restart, cut→heal). Zero values
-	// default to Start=4000µs, Period=30000µs, Duration=8000µs.
+	// the first fault cycle; Period the spacing between cycle starts;
+	// Duration the downtime of each cycle (crash→restart, cut→heal).
+	// Within cycle i, crashes fire at Start+i·Period, replacements at
+	// Start+Period/4+i·Period, partitions at Start+Period/2+i·Period and
+	// restores at Start+3·Period/4+i·Period, so combined schedules
+	// interleave instead of colliding. Zero values default to
+	// Start=4000µs, Period=30000µs, Duration=8000µs.
 	Start    sim.Time
 	Period   sim.Time
 	Duration sim.Time
 	// Schedule, when non-empty, is an explicit fault list that replaces
-	// the generated one entirely (Crashes/Partitions and the timing knobs
-	// are ignored). At instants are relative to the measured run start.
-	// Crash/restart targets must be servers.
+	// the generated one entirely (Crashes/Partitions/Replaces/Restores
+	// and the timing knobs are ignored). At instants are relative to the
+	// measured run start. Crash/restart/replace targets must be servers;
+	// a restore with an empty From is filled with all servers.
 	Schedule []sim.Fault
 }
+
+// Deterministic catch-up cost model: a replacement (or restored cluster)
+// comes back syncBase + syncPerVersion × (versions adopted) after the
+// replace/restore instant. Virtual microseconds, part of the schedule —
+// identical at any worker count — and coarse enough that a mid-run
+// replacement is an outage an order of magnitude above the latency
+// ceiling, matching the other nemesis durations.
+const (
+	syncBase       sim.Time = 2_000
+	syncPerVersion sim.Time = 25
+)
 
 func (n *Nemesis) defaults() {
 	if n.Start <= 0 {
@@ -83,7 +115,7 @@ func (n *Nemesis) build(d *protocol.Deployment, seed int64, start sim.Time) ([]s
 	var faults []sim.Fault
 	if len(n.Schedule) > 0 {
 		faults = append(faults, n.Schedule...)
-		for _, f := range faults {
+		for i, f := range faults {
 			switch f.Kind {
 			case sim.FaultCrash, sim.FaultRestart:
 				if !isServer[f.Proc] {
@@ -93,6 +125,21 @@ func (n *Nemesis) build(d *protocol.Deployment, seed int64, start sim.Time) ([]s
 				if len(f.From) == 0 || len(f.To) == 0 {
 					return nil, fmt.Errorf("driver: nemesis %s with an empty partition group", f.Kind)
 				}
+			case sim.FaultReplace:
+				if !isServer[f.Proc] {
+					return nil, fmt.Errorf("driver: nemesis %s targets %q: replace targets must be servers", f.Kind, f.Proc)
+				}
+			case sim.FaultRestore:
+				if len(f.From) == 0 {
+					// A bare restore means the whole cluster.
+					faults[i].From = append([]sim.ProcessID(nil), servers...)
+					break
+				}
+				for _, pid := range f.From {
+					if !isServer[pid] {
+						return nil, fmt.Errorf("driver: nemesis restore includes %q: restore targets must be servers", pid)
+					}
+				}
 			default:
 				return nil, fmt.Errorf("driver: unknown fault kind %d", f.Kind)
 			}
@@ -101,7 +148,7 @@ func (n *Nemesis) build(d *protocol.Deployment, seed int64, start sim.Time) ([]s
 			}
 		}
 	} else {
-		if n.Crashes < 0 || n.Partitions < 0 {
+		if n.Crashes < 0 || n.Partitions < 0 || n.Replaces < 0 || n.Restores < 0 {
 			return nil, fmt.Errorf("driver: negative nemesis cycle count")
 		}
 		// The schedule RNG is its own stream — never the kernel's — so a
@@ -113,6 +160,23 @@ func (n *Nemesis) build(d *protocol.Deployment, seed int64, start sim.Time) ([]s
 			faults = append(faults,
 				sim.Fault{At: at, Kind: sim.FaultCrash, Proc: target, Lose: n.Lose},
 				sim.Fault{At: at + n.Duration, Kind: sim.FaultRestart, Proc: target})
+		}
+		// Replacement and restore cycles are offset inside the period so
+		// combined schedules (crash+replace, …) interleave rather than
+		// collide; their companion restarts are data-dependent (the sync
+		// duration scales with the versions adopted) and get inserted into
+		// the armed schedule at apply time, not here.
+		for i := 0; i < n.Replaces; i++ {
+			at := n.Start + n.Period/4 + sim.Time(i)*n.Period
+			target := servers[rng.Intn(len(servers))]
+			faults = append(faults,
+				sim.Fault{At: at, Kind: sim.FaultReplace, Proc: target, Lose: n.Lose})
+		}
+		for i := 0; i < n.Restores; i++ {
+			at := n.Start + (3*n.Period)/4 + sim.Time(i)*n.Period
+			faults = append(faults,
+				sim.Fault{At: at, Kind: sim.FaultRestore, Lose: n.Lose,
+					From: append([]sim.ProcessID(nil), servers...)})
 		}
 		if n.Partitions > 0 {
 			a, b := n.groups(d)
@@ -199,6 +263,21 @@ type NemesisReport struct {
 	FaultedCommitted int
 	FaultedRejected  int
 	FaultedLatency   stats.Summary
+	// Reconfiguration accounting. Replacements/Restores count applied
+	// replace/restore events; SyncedVersions the versions replacements
+	// adopted in total (durable image + peer transfer), PeerSyncedVersions
+	// the peer-transferred share; SyncTime the summed virtual catch-up
+	// duration (replace/restore instant → companion restart).
+	Replacements       int
+	Restores           int
+	SyncedVersions     int64
+	PeerSyncedVersions int64
+	SyncTime           sim.Time
+	// SyncPhaseCommitted / SyncPhaseLatency are the replacement-phase
+	// slice: commits whose lifetime overlapped a catch-up window — the
+	// price user transactions pay for a reconfiguration in flight.
+	SyncPhaseCommitted int
+	SyncPhaseLatency   stats.Summary
 }
 
 // faultWindow is a closed maximal interval during which ≥1 fault was
@@ -225,6 +304,11 @@ type nemesisState struct {
 	marks    []recoveryMark
 	recLat   *stats.Collector
 	faulted  *stats.Collector
+	// syncWins are the catch-up windows (replace/restore instant →
+	// companion restart), known in full at apply time because the sync
+	// duration is a deterministic function of the versions adopted.
+	syncWins []faultWindow
+	syncLat  *stats.Collector
 }
 
 func newNemesisState(faults []sim.Fault) *nemesisState {
@@ -233,6 +317,7 @@ func newNemesisState(faults []sim.Fault) *nemesisState {
 		rep:     &NemesisReport{Scheduled: len(faults)},
 		recLat:  stats.NewCollector(),
 		faulted: stats.NewCollector(),
+		syncLat: stats.NewCollector(),
 	}
 }
 
@@ -246,31 +331,110 @@ func (s *nemesisState) next() *sim.Fault {
 
 // applyDue applies every fault scheduled at or before the kernel's
 // current instant. The caller guarantees the engine is not running.
+// Replace/restore events insert their companion restarts into the armed
+// schedule here — the sync duration is a deterministic function of the
+// versions the replacement adopted, so the inserted instants (and hence
+// the whole schedule) stay identical at any worker count per engine.
 func (s *nemesisState) applyDue(k *sim.Kernel) {
 	for s.idx < len(s.faults) && s.faults[s.idx].At <= k.Now() {
 		f := s.faults[s.idx]
 		s.idx++
-		if !k.ApplyFault(f) {
-			continue
-		}
-		s.rep.Applied++
 		switch f.Kind {
-		case sim.FaultCrash:
-			s.rep.Crashes++
-			s.open(k.Now())
-		case sim.FaultRestart:
-			s.rep.Restarts++
-			s.close(k.Now())
-			s.marks = append(s.marks, recoveryMark{at: k.Now(), proc: f.Proc})
-		case sim.FaultCut:
-			s.rep.Partitions++
-			s.open(k.Now())
-		case sim.FaultHeal:
-			s.rep.Heals++
-			s.close(k.Now())
-			s.marks = append(s.marks, recoveryMark{at: k.Now()})
+		case sim.FaultReplace:
+			// A replace of an already-down server continues its open crash
+			// window rather than opening a second one (the companion restart
+			// closes exactly one).
+			wasUp := !k.Down(f.Proc)
+			st, ok := k.Replace(f.Proc, f.Lose)
+			if !ok {
+				continue
+			}
+			s.rep.Applied++
+			s.rep.Replacements++
+			if wasUp {
+				s.open(k.Now())
+			}
+			s.scheduleSyncRestart(k, st, []sim.ProcessID{f.Proc})
+		case sim.FaultRestore:
+			// One window slot per server this restore takes down (servers
+			// already down keep their open crash windows); the coordinated
+			// restart closes them all at the same instant.
+			wasUp := 0
+			for _, pid := range f.From {
+				if !k.Down(pid) {
+					wasUp++
+				}
+			}
+			st, done := k.Restore(f.From, f.Lose)
+			if done == 0 {
+				continue
+			}
+			s.rep.Applied++
+			s.rep.Restores++
+			for i := 0; i < wasUp; i++ {
+				s.open(k.Now())
+			}
+			up := make([]sim.ProcessID, 0, done)
+			for _, pid := range f.From {
+				if k.Down(pid) {
+					up = append(up, pid)
+				}
+			}
+			s.scheduleSyncRestart(k, st, up)
+		default:
+			if !k.ApplyFault(f) {
+				continue
+			}
+			s.rep.Applied++
+			switch f.Kind {
+			case sim.FaultCrash:
+				s.rep.Crashes++
+				s.open(k.Now())
+			case sim.FaultRestart:
+				s.rep.Restarts++
+				s.close(k.Now())
+				s.marks = append(s.marks, recoveryMark{at: k.Now(), proc: f.Proc})
+			case sim.FaultCut:
+				s.rep.Partitions++
+				s.open(k.Now())
+			case sim.FaultHeal:
+				s.rep.Heals++
+				s.close(k.Now())
+				s.marks = append(s.marks, recoveryMark{at: k.Now()})
+			}
 		}
 	}
+}
+
+// scheduleSyncRestart accounts one replace/restore catch-up and inserts
+// the companion restarts that bring the replacement(s) up once caught up:
+// at now + syncBase + syncPerVersion × versions adopted. The inserted
+// restarts become part of the armed schedule (Scheduled is bumped so the
+// Applied == Scheduled invariant is preserved) and flow through the
+// ordinary FaultRestart accounting — window close, recovery mark.
+func (s *nemesisState) scheduleSyncRestart(k *sim.Kernel, st sim.SyncStats, procs []sim.ProcessID) {
+	dur := syncBase + syncPerVersion*sim.Time(st.Total())
+	s.rep.SyncedVersions += int64(st.Total())
+	s.rep.PeerSyncedVersions += int64(st.Peer)
+	s.rep.SyncTime += dur
+	at := k.Now() + dur
+	s.syncWins = append(s.syncWins, faultWindow{from: k.Now(), to: at})
+	for _, pid := range procs {
+		s.insert(sim.Fault{At: at, Kind: sim.FaultRestart, Proc: pid})
+	}
+}
+
+// insert adds a fault to the armed schedule at its sorted position (at or
+// after the current cursor — inserted faults are never in the past).
+func (s *nemesisState) insert(f sim.Fault) {
+	i := s.idx
+	for i < len(s.faults) && s.faults[i].At <= f.At {
+		i++
+	}
+	s.faults = append(s.faults, sim.Fault{})
+	copy(s.faults[i+1:], s.faults[i:])
+	s.faults[i] = f
+	s.rep.Scheduled++
 }
 
 func (s *nemesisState) open(t sim.Time) {
@@ -298,6 +462,19 @@ func (s *nemesisState) overlaps(inv, comp int64) bool {
 	return s.active > 0 && comp >= int64(s.winStart)
 }
 
+// overlapsSync reports whether [inv, comp] intersects a catch-up window
+// (replace/restore instant → companion restart). Catch-up windows are
+// closed at creation — the sync duration is known at apply time — so no
+// open-window case exists here.
+func (s *nemesisState) overlapsSync(inv, comp int64) bool {
+	for _, w := range s.syncWins {
+		if inv <= int64(w.to) && comp >= int64(w.from) {
+			return true
+		}
+	}
+	return false
+}
+
 // observe accounts one collected result: degraded-phase tallies for
 // transactions whose lifetime crossed a fault window, and recovery-mark
 // closure for the first qualifying commit after each restart/heal.
@@ -311,6 +488,10 @@ func (s *nemesisState) observe(res *model.Result, place *protocol.Placement) {
 	if s.overlaps(res.Invoked, res.Completed) {
 		s.rep.FaultedCommitted++
 		s.faulted.Add(res.Completed - res.Invoked)
+	}
+	if s.overlapsSync(res.Invoked, res.Completed) {
+		s.rep.SyncPhaseCommitted++
+		s.syncLat.Add(res.Completed - res.Invoked)
 	}
 	for i := range s.marks {
 		m := &s.marks[i]
@@ -363,6 +544,7 @@ func (s *nemesisState) finish(k *sim.Kernel, runStart sim.Time) *NemesisReport {
 	}
 	s.rep.RecoveryLatency = s.recLat.Summarize()
 	s.rep.FaultedLatency = s.faulted.Summarize()
+	s.rep.SyncPhaseLatency = s.syncLat.Summarize()
 	s.rep.LostMessages = k.LostInboxMessages()
 	return s.rep
 }

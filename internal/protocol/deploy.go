@@ -120,6 +120,14 @@ func Deploy(p Protocol, cfg Config) *Deployment {
 	for _, sid := range pl.Servers() {
 		k.Add(p.NewServer(sid, pl))
 		k.SetRecovery(sid, recoverServer(sid))
+		// Replacement hook (reconfiguration): a fresh process adopts this
+		// server's shard and catches up before serving (sync.go). The
+		// kernel is a hook parameter, so deployment snapshots replay
+		// replacements against their own copy.
+		sid := sid
+		k.SetReplacement(sid, func(kk *sim.Kernel, old sim.Process, lose bool) (sim.Process, sim.SyncStats) {
+			return d.AdoptShard(kk, sid, old, lose)
+		})
 	}
 	for i := 0; i < cfg.Clients; i++ {
 		id := sim.ProcessID(fmt.Sprintf("c%d", i))

@@ -333,3 +333,8 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 	}
 	return out
 }
+
+// ShardStore exposes the durable version store for the reconfiguration
+// layer's generic catch-up (protocol.StoreCarrier): a replacement server
+// adopts missing versions from live peer replicas before serving.
+func (s *server) ShardStore() *store.Store { return s.st }

@@ -386,3 +386,33 @@ func (c *client) finishRead(now sim.Time) {
 	c.got = nil
 	c.Finish(now)
 }
+
+// ShardStore exposes the durable version store for the reconfiguration
+// layer's catch-up (protocol.StoreCarrier).
+func (s *server) ShardStore() *store.Store { return s.st }
+
+// SyncFrom implements protocol.Syncer, the non-default catch-up: a
+// replacement adopts the peer's missing versions AND the dependency
+// side-table entries that make them safe to serve — a COPS version
+// without its deps list would answer get-transactions with an empty
+// dependency cut, so the generic store transfer alone is not enough here.
+func (s *server) SyncFrom(peer sim.Process, objs []string) int {
+	n := protocol.CopyMissingVersions(s, peer, objs)
+	src, ok := peer.(*server)
+	if !ok {
+		return n
+	}
+	for _, obj := range objs {
+		for _, v := range src.st.Versions(obj) {
+			key := depsKey(obj, v.Writer)
+			d, found := src.deps[key]
+			if !found {
+				continue
+			}
+			if _, have := s.deps[key]; !have {
+				s.deps[key] = append([]depRef(nil), d...)
+			}
+		}
+	}
+	return n
+}

@@ -207,3 +207,10 @@ func TestSnapshotArbitrationFractureIsInherent(t *testing.T) {
 func TestFaultConformance(t *testing.T) {
 	ptest.RunFaults(t, cure.New(), ptest.Expect{})
 }
+
+// TestReconfigConformance certifies the standard replica-replacement and
+// whole-cluster-restore sweeps on both stepping engines (ptest.RunReconfig
+// semantics): non-lossy reconfiguration must lose nothing.
+func TestReconfigConformance(t *testing.T) {
+	ptest.RunReconfig(t, cure.New(), ptest.Expect{})
+}

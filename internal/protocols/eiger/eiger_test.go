@@ -179,3 +179,10 @@ func TestReadAtTimeClosesStraddlingRead(t *testing.T) {
 func TestFaultConformance(t *testing.T) {
 	ptest.RunFaults(t, eiger.New(), ptest.Expect{})
 }
+
+// TestReconfigConformance certifies the standard replica-replacement and
+// whole-cluster-restore sweeps on both stepping engines (ptest.RunReconfig
+// semantics): non-lossy reconfiguration must lose nothing.
+func TestReconfigConformance(t *testing.T) {
+	ptest.RunReconfig(t, eiger.New(), ptest.Expect{})
+}

@@ -607,3 +607,40 @@ func (c *client) Step(now sim.Time, inbox []*sim.Message) []sim.Outbound {
 	}
 	return out
 }
+
+// ShardStore exposes the durable version store for the reconfiguration
+// layer's catch-up (protocol.StoreCarrier).
+func (s *server) ShardStore() *store.Store { return s.st }
+
+// SyncFrom implements protocol.Syncer, the non-default catch-up: a
+// replacement adopts the peer's missing versions AND their sibling/dep
+// metadata blobs — fat-COPS answers reads straight from the blob, so a
+// version transferred without it would serve an empty dependency set.
+func (s *server) SyncFrom(peer sim.Process, objs []string) int {
+	n := protocol.CopyMissingVersions(s, peer, objs)
+	src, ok := peer.(*server)
+	if !ok {
+		return n
+	}
+	if s.meta == nil {
+		s.meta = make(map[string]metaBlob)
+	}
+	for _, obj := range objs {
+		for _, v := range src.st.Versions(obj) {
+			key := metaKey(obj, v.Writer)
+			m, found := src.meta[key]
+			if !found {
+				continue
+			}
+			if _, have := s.meta[key]; !have {
+				s.meta[key] = metaBlob{
+					Sibs: cloneEntries(m.Sibs),
+					Deps: cloneEntries(m.Deps),
+					WSet: append([]string(nil), m.WSet...),
+					Vec:  m.Vec.clone(),
+				}
+			}
+		}
+	}
+	return n
+}

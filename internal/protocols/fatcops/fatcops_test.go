@@ -141,3 +141,10 @@ func TestLoadConformance(t *testing.T) {
 func TestFaultConformance(t *testing.T) {
 	ptest.RunFaults(t, fatcops.New(), ptest.Expect{ObjectsPerServer: 2, LoadSeeds: []int64{5}})
 }
+
+// TestReconfigConformance certifies the standard replica-replacement and
+// whole-cluster-restore sweeps on both stepping engines (ptest.RunReconfig
+// semantics): non-lossy reconfiguration must lose nothing.
+func TestReconfigConformance(t *testing.T) {
+	ptest.RunReconfig(t, fatcops.New(), ptest.Expect{ObjectsPerServer: 2, LoadSeeds: []int64{5}})
+}

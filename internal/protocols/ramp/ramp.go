@@ -434,3 +434,33 @@ func (c *client) finishRead(now sim.Time) {
 	c.got = nil
 	c.Finish(now)
 }
+
+// ShardStore exposes the durable version store for the reconfiguration
+// layer's catch-up (protocol.StoreCarrier).
+func (s *server) ShardStore() *store.Store { return s.st }
+
+// SyncFrom implements protocol.Syncer, the non-default catch-up: a
+// replacement adopts the peer's missing versions AND their write-set
+// annotations — RAMP's read repair detects fractured reads by comparing
+// write sets, so a version without one would never trigger the second
+// round.
+func (s *server) SyncFrom(peer sim.Process, objs []string) int {
+	n := protocol.CopyMissingVersions(s, peer, objs)
+	src, ok := peer.(*server)
+	if !ok {
+		return n
+	}
+	for _, obj := range objs {
+		for _, v := range src.st.Versions(obj) {
+			key := metaKey(obj, v.Writer)
+			m, found := src.meta[key]
+			if !found {
+				continue
+			}
+			if _, have := s.meta[key]; !have {
+				s.meta[key] = append([]string(nil), m...)
+			}
+		}
+	}
+	return n
+}

@@ -120,3 +120,10 @@ func TestLoadConformance(t *testing.T) {
 func TestFaultConformance(t *testing.T) {
 	ptest.RunFaults(t, wren.New(), ptest.Expect{})
 }
+
+// TestReconfigConformance certifies the standard replica-replacement and
+// whole-cluster-restore sweeps on both stepping engines (ptest.RunReconfig
+// semantics): non-lossy reconfiguration must lose nothing.
+func TestReconfigConformance(t *testing.T) {
+	ptest.RunReconfig(t, wren.New(), ptest.Expect{})
+}

@@ -89,6 +89,9 @@ type Kernel struct {
 	cut      map[Link]bool
 	heldMsgs []*Message
 	recovery map[ProcessID]func(Process) Process
+	// replacement holds the catch-up hooks run by Replace/Restore
+	// (reconfiguration: a fresh process adopts a dead one's shard).
+	replacement map[ProcessID]ReplacementHook
 	// Conservation counters (CheckConservation): deliveries executed,
 	// messages dropped from transit (DropInTransit), and delivered-but-
 	// unconsumed messages discarded by lossy crashes.
@@ -471,6 +474,12 @@ func (k *Kernel) Snapshot() *Kernel {
 		c.recovery = make(map[ProcessID]func(Process) Process, len(k.recovery))
 		for id, f := range k.recovery {
 			c.recovery[id] = f
+		}
+	}
+	if len(k.replacement) > 0 {
+		c.replacement = make(map[ProcessID]ReplacementHook, len(k.replacement))
+		for id, f := range k.replacement {
+			c.replacement[id] = f
 		}
 	}
 	if len(k.linkFloor) > 0 {

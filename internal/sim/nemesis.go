@@ -26,6 +26,12 @@ import "fmt"
 //     messages sent on it while cut are held. Heal releases them; they
 //     become deliverable no earlier than max(ReadyAt, heal instant).
 //     Links stay reliable — a partition delays, it never loses.
+//   - Replace swaps a fresh process into a dead server's slot (adopting
+//     its ID-space and shard) and catches it up via the registered
+//     replacement hook; Restore is the coordinated whole-cluster
+//     stop-and-rebuild from durable snapshots. Both leave the targets
+//     down until companion restarts model the catch-up completing, so a
+//     replacement never serves reads before it is caught up.
 //
 // Held messages keep their transit registration (byID, transit buffer)
 // so configuration accounting is exact; only the arrival index skips
@@ -46,6 +52,19 @@ const (
 	FaultCut
 	// FaultHeal restores those links.
 	FaultHeal
+	// FaultReplace swaps a fresh process into Proc's slot: the target is
+	// crashed (if still up), rebuilt by its replacement hook — which
+	// adopts the dead server's ID-space and catches its state up — and
+	// stays down until a companion FaultRestart models the catch-up
+	// completing. Lose selects disk loss: the replacement starts
+	// factory-fresh and owns only what live peers can transfer; without
+	// it the replacement reattaches the durable image (snapshot restore).
+	FaultReplace
+	// FaultRestore is the coordinated whole-cluster stop-and-rebuild:
+	// every process in From is crashed first, then each is rebuilt from
+	// its latest durable snapshot (peers are all down, so no live
+	// transfer happens). Lose wipes the snapshots too — total data loss.
+	FaultRestore
 )
 
 func (fk FaultKind) String() string {
@@ -58,6 +77,10 @@ func (fk FaultKind) String() string {
 		return "cut"
 	case FaultHeal:
 		return "heal"
+	case FaultReplace:
+		return "replace"
+	case FaultRestore:
+		return "restore"
 	}
 	return fmt.Sprintf("fault(%d)", fk)
 }
@@ -68,7 +91,7 @@ func (fk FaultKind) String() string {
 type Fault struct {
 	At   Time
 	Kind FaultKind
-	// Proc is the crash/restart target.
+	// Proc is the crash/restart/replace target.
 	Proc ProcessID
 	// Lose selects volatile-state loss for a crash: the income buffer is
 	// dropped immediately and the process is rebuilt by its recovery hook
@@ -77,14 +100,17 @@ type Fault struct {
 	Lose bool
 	// From and To are the partition groups for cut/heal: every directed
 	// link between a From process and a To process, in both directions,
-	// is affected.
+	// is affected. For restore, From is the set of processes to stop and
+	// rebuild together (To is unused).
 	From, To []ProcessID
 }
 
 func (f Fault) String() string {
 	switch f.Kind {
-	case FaultCrash, FaultRestart:
+	case FaultCrash, FaultRestart, FaultReplace:
 		return fmt.Sprintf("%s(%s,lose=%v)@%d", f.Kind, f.Proc, f.Lose, f.At)
+	case FaultRestore:
+		return fmt.Sprintf("%s(%v,lose=%v)@%d", f.Kind, f.From, f.Lose, f.At)
 	default:
 		return fmt.Sprintf("%s(%v|%v)@%d", f.Kind, f.From, f.To, f.At)
 	}
@@ -104,6 +130,27 @@ type crashInfo struct {
 	lose bool
 }
 
+// SyncStats accounts the state a replacement process adopted during
+// catch-up: Snapshot counts the versions loaded from the durable image it
+// reattached (0 on a lossy replace — the disk is gone), Peer the versions
+// transferred from live peer replicas. The driver derives the
+// deterministic catch-up duration from the total.
+type SyncStats struct {
+	Snapshot int
+	Peer     int
+}
+
+// Total returns the number of versions the replacement adopted.
+func (s SyncStats) Total() int { return s.Snapshot + s.Peer }
+
+// ReplacementHook builds the process that replaces old under the same ID
+// during a FaultReplace/FaultRestore: it adopts the dead process's
+// ID-space and shard, catches its state up (from the durable image, from
+// live peers, or both), and reports what it synced. The kernel is passed
+// explicitly so hooks installed before a Snapshot keep working on the
+// copy. protocol.Deploy installs hooks for every server.
+type ReplacementHook func(k *Kernel, old Process, lose bool) (Process, SyncStats)
+
 // SetRecovery registers the hook that rebuilds pid after a lossy crash.
 // Restart calls it with the pre-crash process and installs the returned
 // one under the same ID; without a hook the old state is kept (which
@@ -114,6 +161,17 @@ func (k *Kernel) SetRecovery(pid ProcessID, f func(old Process) Process) {
 		k.recovery = make(map[ProcessID]func(Process) Process)
 	}
 	k.recovery[pid] = f
+}
+
+// SetReplacement registers the hook that rebuilds pid during a
+// FaultReplace or FaultRestore. Without one, Replace degrades to a crash:
+// the process stays down until its companion restart, which runs the
+// recovery hook if the replace was lossy.
+func (k *Kernel) SetReplacement(pid ProcessID, f ReplacementHook) {
+	if k.replacement == nil {
+		k.replacement = make(map[ProcessID]ReplacementHook)
+	}
+	k.replacement[pid] = f
 }
 
 // Down reports whether pid is currently crashed.
@@ -230,6 +288,88 @@ func (k *Kernel) Restart(pid ProcessID) bool {
 	return true
 }
 
+// Replace swaps a fresh process into pid's slot at the current instant:
+// the target is crashed first (if still up), then rebuilt by its
+// replacement hook, which adopts the dead process's ID-space and catches
+// its state up. The process REMAINS DOWN afterwards — it only starts
+// serving once a companion Restart fires, which is how the caller models
+// the catch-up taking time. With lose, the replacement's disk is gone:
+// any delivered-but-unconsumed income buffer is discarded (accounted like
+// a lossy crash) and the hook starts factory-fresh, owning only what live
+// peers transfer. Without, the durable image (state and inbox) reattaches
+// intact. Returns false only for unknown processes.
+func (k *Kernel) Replace(pid ProcessID, lose bool) (SyncStats, bool) {
+	if _, ok := k.procs[pid]; !ok {
+		return SyncStats{}, false
+	}
+	if !k.Down(pid) {
+		k.Crash(pid, lose)
+	} else if lose {
+		// Already down from an earlier (persistent) crash: the fresh
+		// disk never saw the delivered-but-unconsumed buffer either.
+		if n := len(k.inbox[pid]); n > 0 {
+			k.pendingInboxes--
+			k.lostInbox += int64(n)
+			k.inbox[pid] = nil
+		}
+	}
+	hook := k.replacement[pid]
+	if hook == nil {
+		// No catch-up protocol registered: degrade to a plain crash. The
+		// recovery hook (if lossy) rebuilds at the companion restart.
+		ci := k.crashed[pid]
+		ci.lose = lose
+		k.crashed[pid] = ci
+		k.Annotate(EvMark, pid, fmt.Sprintf("replace lose=%v (no hook)", lose))
+		return SyncStats{}, true
+	}
+	p, st := hook(k, k.procs[pid], lose)
+	if p != nil {
+		k.procs[pid] = p
+	}
+	// The replacement is already caught up; the companion restart must
+	// resume it as-is, not run the lossy-recovery hook over it.
+	ci := k.crashed[pid]
+	ci.lose = false
+	k.crashed[pid] = ci
+	k.Annotate(EvMark, pid, fmt.Sprintf("replace lose=%v synced=%d+%d", lose, st.Snapshot, st.Peer))
+	return st, true
+}
+
+// Restore performs the coordinated whole-cluster stop-and-rebuild over
+// procs: every process is crashed first (a coordinated stop — no peer is
+// live during the rebuild, so replacement hooks transfer nothing from
+// peers), then each is rebuilt from its latest durable snapshot via
+// Replace. All of them remain down until companion Restarts fire. With
+// lose the snapshots are gone too: every process comes back factory-fresh
+// — total data loss, which certification must catch. Returns the summed
+// sync stats and how many processes were restored.
+func (k *Kernel) Restore(procs []ProcessID, lose bool) (SyncStats, int) {
+	var total SyncStats
+	done := 0
+	for _, pid := range procs {
+		if _, ok := k.procs[pid]; !ok {
+			continue
+		}
+		if !k.Down(pid) {
+			k.Crash(pid, lose)
+		}
+	}
+	for _, pid := range procs {
+		st, ok := k.Replace(pid, lose)
+		if !ok {
+			continue
+		}
+		total.Snapshot += st.Snapshot
+		total.Peer += st.Peer
+		done++
+	}
+	if done > 0 {
+		k.Annotate(EvMark, "", fmt.Sprintf("restore %d procs lose=%v synced=%d+%d", done, lose, total.Snapshot, total.Peer))
+	}
+	return total, done
+}
+
 // CutLink severs one directed link. In-transit messages on it are held;
 // so is everything sent on it until HealLink. Returns false if already
 // cut.
@@ -305,6 +445,12 @@ func (k *Kernel) ApplyFault(f Fault) bool {
 			k.Annotate(EvMark, "", fmt.Sprintf("heal %v|%v", f.From, f.To))
 		}
 		return applied
+	case FaultReplace:
+		_, ok := k.Replace(f.Proc, f.Lose)
+		return ok
+	case FaultRestore:
+		_, done := k.Restore(f.From, f.Lose)
+		return done > 0
 	}
 	return false
 }
